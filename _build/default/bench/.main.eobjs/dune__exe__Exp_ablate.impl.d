@@ -1,0 +1,1 @@
+bench/exp_ablate.ml: Fl_attacks Fl_cln Fl_core Fl_locking Fl_netlist Fl_ppa Fl_sat Hashtbl List Printf Random Tables

@@ -1,0 +1,1 @@
+bench/exp_bdd.ml: Array Fl_bdd Fl_core Fl_locking Fl_netlist Hashtbl List Printf Random Tables

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Fl_sat List Printf Random String Tables

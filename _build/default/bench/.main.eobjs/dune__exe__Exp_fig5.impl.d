@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Fl_ppa List Printf Tables

@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Fl_cnf Fl_core Fl_locking Fl_netlist Float Hashtbl List Printf Random String Tables

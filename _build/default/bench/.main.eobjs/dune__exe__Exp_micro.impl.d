@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Bechamel Benchmark Fl_attacks Fl_cln Fl_cnf Fl_core Fl_locking Fl_netlist Fl_ppa Fl_sat Float Hashtbl Instance List Measure Printf Random Staged Tables Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/exp_security.ml: Array Fl_attacks Fl_bdd Fl_cln Fl_core Fl_locking Fl_netlist Float Hashtbl List Printf Random String Tables

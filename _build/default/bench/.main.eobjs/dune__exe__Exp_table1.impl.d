@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Array Char Fl_cnf Fl_netlist List String Tables

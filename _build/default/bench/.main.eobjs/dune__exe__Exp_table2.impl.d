@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Fl_attacks Fl_cln Fl_core List Printf Random Tables

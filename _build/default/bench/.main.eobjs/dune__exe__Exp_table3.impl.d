@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Fl_attacks Fl_cln Fl_core Fl_ppa List Printf Random Tables

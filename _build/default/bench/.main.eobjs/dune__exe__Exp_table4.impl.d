@@ -1,0 +1,1 @@
+bench/exp_table4.ml: Fl_attacks Fl_core Fl_locking Fl_netlist Hashtbl List Printf Random Tables

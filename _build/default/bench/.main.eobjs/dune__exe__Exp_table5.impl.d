@@ -1,0 +1,1 @@
+bench/exp_table5.ml: Array Fl_attacks Fl_core Fl_locking Fl_netlist Hashtbl List Option Printf Random String Tables

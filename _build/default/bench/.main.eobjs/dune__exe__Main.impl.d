@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablate Exp_bdd Exp_fig1 Exp_fig5 Exp_fig7 Exp_micro Exp_security Exp_table1 Exp_table2 Exp_table3 Exp_table4 Exp_table5 List Printf String Sys Unix

@@ -1,0 +1,61 @@
+(* BDD trade-off analysis (in the style of the paper's reference [29]):
+   the canonical BDD size of the locked function under a wrong key is an
+   obfuscation metric orthogonal to SAT hardness — point-function schemes
+   barely move it, routing obfuscation inflates it or blows it up. *)
+
+module Circuit = Fl_netlist.Circuit
+module Generator = Fl_netlist.Generator
+module Locked = Fl_locking.Locked
+module Fulllock = Fl_core.Fulllock
+module Bdd = Fl_bdd.Bdd
+
+let run ~deep () =
+  let inputs = if deep then 14 else 12 in
+  let host =
+    Generator.random ~seed:303 ~name:"bdd-host"
+      { Generator.num_inputs = inputs; num_outputs = 4; num_gates = 110;
+        max_fanin = 3; and_bias = 0.75 }
+  in
+  let node_limit = if deep then 4_000_000 else 1_000_000 in
+  let base = Bdd.circuit_size ~node_limit host ~keys:[||] in
+  let cases =
+    [
+      ("SARLock", fun rng -> Fl_locking.Sarlock.lock rng ~key_bits:8 host);
+      ("SFLL-HD (h=2)", fun rng -> Fl_locking.Sfll.lock rng ~key_bits:8 ~h:2 host);
+      ("RLL (XOR)", fun rng -> Fl_locking.Rll.lock rng ~key_bits:8 host);
+      ("LUT-Lock", fun rng -> Fl_locking.Lut_lock.lock rng ~gates:6 host);
+      ("Cross-Lock", fun rng -> Fl_locking.Cross_lock.lock rng ~n:8 host);
+      ("Full-Lock", fun rng -> Fulllock.lock_one rng ~n:8 host);
+    ]
+  in
+  let show = function
+    | Some v -> string_of_int v
+    | None -> Printf.sprintf "> %d (blow-up)" node_limit
+  in
+  let rows =
+    List.map
+      (fun (name, lock) ->
+        let rng = Random.State.make [| Hashtbl.hash name; 5 |] in
+        let locked = lock rng in
+        let lc = locked.Locked.locked in
+        let wrong = Array.map not locked.Locked.correct_key in
+        let correct_size =
+          Bdd.circuit_size ~node_limit lc ~keys:locked.Locked.correct_key
+        in
+        let wrong_size = Bdd.circuit_size ~node_limit lc ~keys:wrong in
+        [ name; show correct_size; show wrong_size ])
+      cases
+  in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "BDD trade-off analysis — canonical function size (host: %s, %d nodes)"
+         (match base with Some v -> string_of_int v | None -> "?")
+         inputs)
+    [ "scheme"; "BDD size @ correct key"; "BDD size @ wrong key" ]
+    rows;
+  print_endline
+    "Every correct key reproduces the host's canonical function (identical BDD\n\
+     size - a strong end-to-end invariant).  SARLock's wrong keys barely move\n\
+     it (a point flip: why bypass is cheap), while LUT/routing schemes replace\n\
+     the function wholesale."

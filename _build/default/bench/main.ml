@@ -1,0 +1,51 @@
+(* Experiment harness: one sub-command per table/figure of the paper, plus
+   the supplementary security experiments, ablations and micro benches.
+
+   Usage:  main.exe [experiment ...] [--deep]
+           main.exe all            (default; every experiment, scaled budget)
+           main.exe micro          (Bechamel micro-benchmarks)
+
+   --deep raises sizes and timeouts toward (but nowhere near) the paper's
+   2e6-second testbed budget. *)
+
+let experiments ~deep =
+  [
+    "fig1", (fun () -> Exp_fig1.run ~deep ());
+    "table1", (fun () -> Exp_table1.run ());
+    "table2", (fun () -> Exp_table2.run ~deep ());
+    "table3", (fun () -> Exp_table3.run ~deep ());
+    "table4", (fun () -> Exp_table4.run ~deep ());
+    "table5", (fun () -> Exp_table5.run ~deep ());
+    "fig5", (fun () -> Exp_fig5.run ());
+    "fig7", (fun () -> Exp_fig7.run ~deep ());
+    "coverage", (fun () -> Exp_security.coverage ~deep ());
+    "removal", (fun () -> Exp_security.removal ~deep ());
+    "affine", (fun () -> Exp_security.affine ());
+    "corruption", (fun () -> Exp_security.corruption ~deep ());
+    "bdd", (fun () -> Exp_bdd.run ~deep ());
+    "ablate", (fun () -> Exp_ablate.run ~deep ());
+    "micro", (fun () -> Exp_micro.run ());
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let deep = List.mem "--deep" args in
+  let selected = List.filter (fun a -> a <> "--deep") args in
+  let table = experiments ~deep in
+  let run_one name =
+    match List.assoc_opt name table with
+    | Some f ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+    | None ->
+      Printf.eprintf "unknown experiment %S; available: %s\n" name
+        (String.concat ", " ("all" :: List.map fst table));
+      exit 2
+  in
+  match selected with
+  | [] | [ "all" ] ->
+    print_endline
+      "Full-Lock experiment suite (scaled budgets; pass --deep for longer runs)";
+    List.iter (fun (name, _) -> run_one name) table
+  | names -> List.iter run_one names

@@ -1,0 +1,34 @@
+(* Minimal fixed-width table rendering for the experiment reports. *)
+
+let hline widths =
+  let parts = List.map (fun w -> String.make (w + 2) '-') widths in
+  "+" ^ String.concat "+" parts ^ "+"
+
+let render_row widths cells =
+  let padded =
+    List.map2
+      (fun w cell ->
+        let cell = if String.length cell > w then String.sub cell 0 w else cell in
+        Printf.sprintf " %-*s " w cell)
+      widths cells
+  in
+  "|" ^ String.concat "|" padded ^ "|"
+
+(* [print ~title header rows] renders a boxed table. *)
+let print ~title header rows =
+  let columns = List.length header in
+  let widths =
+    List.init columns (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length (List.nth header i))
+          rows)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  print_endline (hline widths);
+  print_endline (render_row widths header);
+  print_endline (hline widths);
+  List.iter (fun row -> print_endline (render_row widths row)) rows;
+  print_endline (hline widths)
+
+let seconds v = if v >= 100.0 then Printf.sprintf "%.0f" v else Printf.sprintf "%.2f" v

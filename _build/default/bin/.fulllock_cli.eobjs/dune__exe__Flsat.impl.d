@@ -1,0 +1,1 @@
+bin/flsat.ml: Array Buffer Fl_cnf Fl_sat Format List Printf String Sys

@@ -1,0 +1,1 @@
+bin/fulllock_cli.ml: Arg Array Cmd Cmdliner Filename Fl_attacks Fl_core Fl_locking Fl_netlist Fl_ppa Fl_sat Format List Printf Random String Term

@@ -1,0 +1,1 @@
+bin/fulllock_cli.mli:

@@ -1,0 +1,90 @@
+(* flsat — standalone DIMACS front end for the CDCL solver.
+
+     flsat problem.cnf [--budget-seconds S] [--dpll] [--stats]
+
+   Prints "s SATISFIABLE" with a "v ..." model line, "s UNSATISFIABLE", or
+   "s UNKNOWN", following the SAT-competition output conventions. *)
+
+let () =
+  let path = ref None in
+  let budget = ref (-1.0) in
+  let use_dpll = ref false in
+  let show_stats = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--budget-seconds" :: v :: rest ->
+      budget := float_of_string v;
+      parse rest
+    | "--dpll" :: rest ->
+      use_dpll := true;
+      parse rest
+    | "--stats" :: rest ->
+      show_stats := true;
+      parse rest
+    | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
+      path := Some arg;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path =
+    match !path with
+    | Some p -> p
+    | None ->
+      prerr_endline "usage: flsat problem.cnf [--budget-seconds S] [--dpll] [--stats]";
+      exit 2
+  in
+  let text =
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let t = really_input_string ic len in
+    close_in ic;
+    t
+  in
+  let formula =
+    try Fl_cnf.Formula.of_dimacs text
+    with Fl_cnf.Formula.Dimacs_error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 2
+  in
+  if !use_dpll then begin
+    let outcome, stats = Fl_sat.Dpll.solve formula in
+    if !show_stats then Format.eprintf "c %a@." Fl_sat.Dpll.pp_stats stats;
+    match outcome with
+    | Fl_sat.Dpll.Sat ->
+      print_endline "s SATISFIABLE";
+      exit 10
+    | Fl_sat.Dpll.Unsat ->
+      print_endline "s UNSATISFIABLE";
+      exit 20
+    | Fl_sat.Dpll.Aborted ->
+      print_endline "s UNKNOWN";
+      exit 0
+  end
+  else begin
+    let budget =
+      if !budget > 0.0 then Fl_sat.Cdcl.budget_seconds !budget
+      else Fl_sat.Cdcl.no_budget
+    in
+    let outcome, model, stats = Fl_sat.Cdcl.solve_formula ~budget formula in
+    if !show_stats then Format.eprintf "c %a@." Fl_sat.Cdcl.pp_stats stats;
+    match outcome, model with
+    | Fl_sat.Cdcl.Sat, Some m ->
+      print_endline "s SATISFIABLE";
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "v";
+      for v = 1 to Fl_cnf.Formula.num_vars formula do
+        Buffer.add_string buf (Printf.sprintf " %d" (if m.(v) then v else -v))
+      done;
+      Buffer.add_string buf " 0";
+      print_endline (Buffer.contents buf);
+      exit 10
+    | Fl_sat.Cdcl.Unsat, _ ->
+      print_endline "s UNSATISFIABLE";
+      exit 20
+    | _, _ ->
+      print_endline "s UNKNOWN";
+      exit 0
+  end

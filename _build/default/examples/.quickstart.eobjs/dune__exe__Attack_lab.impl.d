@@ -1,0 +1,1 @@
+examples/attack_lab.ml: Fl_attacks Fl_core Fl_locking Fl_netlist Hashtbl List Printf Random String

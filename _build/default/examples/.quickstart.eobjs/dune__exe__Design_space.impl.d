@@ -1,0 +1,1 @@
+examples/design_space.ml: Fl_attacks Fl_cln Fl_core Fl_locking Fl_netlist Fl_ppa Hashtbl List Printf Random String

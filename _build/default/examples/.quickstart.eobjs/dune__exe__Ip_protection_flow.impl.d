@@ -1,0 +1,1 @@
+examples/ip_protection_flow.ml: Array Filename Fl_core Fl_locking Fl_netlist Fl_ppa Format List Printf Random Unix

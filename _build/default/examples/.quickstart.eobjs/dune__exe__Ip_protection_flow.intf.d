@@ -1,0 +1,1 @@
+examples/ip_protection_flow.mli:

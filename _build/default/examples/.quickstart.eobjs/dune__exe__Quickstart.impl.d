@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fl_attacks Fl_core Fl_locking Fl_netlist Format Printf Random

@@ -1,0 +1,1 @@
+examples/testability.ml: Fl_core Fl_locking Fl_netlist Fl_sat Format List Printf Random

@@ -1,0 +1,1 @@
+lib/attacks/affine.ml: Array Fl_locking Fl_netlist Random

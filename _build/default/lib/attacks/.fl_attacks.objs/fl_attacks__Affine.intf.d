@@ -1,0 +1,1 @@
+lib/attacks/affine.mli: Fl_locking

@@ -1,0 +1,1 @@
+lib/attacks/appsat.ml: Fl_locking Fl_netlist Format List Random Session Unix

@@ -1,0 +1,1 @@
+lib/attacks/appsat.mli: Fl_locking Format

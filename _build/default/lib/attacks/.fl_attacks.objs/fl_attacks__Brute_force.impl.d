@@ -1,0 +1,1 @@
+lib/attacks/brute_force.ml: Array Fl_locking Unix

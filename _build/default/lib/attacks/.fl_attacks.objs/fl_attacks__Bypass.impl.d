@@ -1,0 +1,1 @@
+lib/attacks/bypass.ml: Array Fl_cnf Fl_locking Fl_netlist Fl_sat Format Fun List Random Unix

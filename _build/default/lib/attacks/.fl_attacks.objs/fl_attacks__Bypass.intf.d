@@ -1,0 +1,1 @@
+lib/attacks/bypass.mli: Fl_locking Fl_netlist Format

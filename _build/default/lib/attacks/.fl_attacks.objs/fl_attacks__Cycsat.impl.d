@@ -1,0 +1,1 @@
+lib/attacks/cycsat.ml: Array Fl_cnf Fl_locking Fl_netlist Hashtbl List Sat_attack

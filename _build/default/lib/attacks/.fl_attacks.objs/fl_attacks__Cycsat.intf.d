@@ -1,0 +1,1 @@
+lib/attacks/cycsat.mli: Fl_cnf Fl_locking Fl_netlist Sat_attack

@@ -1,0 +1,1 @@
+lib/attacks/removal.ml: Array Fl_locking Fl_netlist Random Sps

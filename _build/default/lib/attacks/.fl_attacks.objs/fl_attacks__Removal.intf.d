@@ -1,0 +1,1 @@
+lib/attacks/removal.mli: Fl_locking Fl_netlist

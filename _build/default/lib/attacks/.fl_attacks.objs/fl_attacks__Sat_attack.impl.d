@@ -1,0 +1,1 @@
+lib/attacks/sat_attack.ml: Fl_locking Fl_netlist Fl_sat Format Session Unix

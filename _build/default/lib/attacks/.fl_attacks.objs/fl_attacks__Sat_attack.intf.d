@@ -1,0 +1,1 @@
+lib/attacks/sat_attack.mli: Fl_cnf Fl_locking Fl_sat Format

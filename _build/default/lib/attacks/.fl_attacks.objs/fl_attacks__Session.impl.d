@@ -1,0 +1,1 @@
+lib/attacks/session.ml: Array Fl_cnf Fl_locking Fl_netlist Fl_sat Unix

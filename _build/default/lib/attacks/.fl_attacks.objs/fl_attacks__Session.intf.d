@@ -1,0 +1,1 @@
+lib/attacks/session.mli: Fl_cnf Fl_locking Fl_sat

@@ -1,0 +1,1 @@
+lib/attacks/sps.ml: Array Fl_locking Fl_netlist Float List

@@ -1,0 +1,1 @@
+lib/attacks/sps.mli: Fl_locking Fl_netlist

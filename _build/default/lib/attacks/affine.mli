@@ -1,0 +1,29 @@
+(** Algebraic (affine) attack — §4.2.3 of the paper.
+
+    A bare CLN computes an affine function over GF(2): [y = A·x ⊕ b] where
+    [A] is a permutation matrix and [b] the inversion mask.  An attacker who
+    can query the block recovers [A] and [b] from [n+1] basis queries and
+    deobfuscates the routing without touching the key.  Full-Lock defeats
+    this by fusing non-linear key-programmed LUTs onto the CLN outputs: the
+    PLR is no longer affine. *)
+
+type fit = {
+  matrix : bool array array;  (** m×n over GF(2) *)
+  offset : bool array;  (** m *)
+  is_affine : bool;  (** fit verified on random samples *)
+  counterexamples : int;  (** samples contradicting the fit *)
+}
+
+(** [fit_function ?samples ?seed ~arity f] queries [f] on the zero vector
+    and the unit vectors to build the candidate (A, b), then verifies on
+    [samples] random vectors (default 128). *)
+val fit_function :
+  ?samples:int -> ?seed:int -> arity:int -> (bool array -> bool array) -> fit
+
+(** [attack_oracle locked] fits the locked bundle's {e oracle} — decides
+    whether the protected block is affine-expressible, i.e. whether the
+    algebraic attack applies. *)
+val attack_oracle : ?samples:int -> ?seed:int -> Fl_locking.Locked.t -> fit
+
+(** [apply fit x] evaluates the fitted affine map. *)
+val apply : fit -> bool array -> bool array

@@ -1,0 +1,90 @@
+module Circuit = Fl_netlist.Circuit
+module Sim = Fl_netlist.Sim
+module Locked = Fl_locking.Locked
+
+type result = {
+  key : bool array option;
+  estimated_error : float;
+  exact : bool;
+  iterations : int;
+  random_queries : int;
+  wall_time : float;
+}
+
+(* Error rate of a key candidate on random inputs; also returns the
+   disagreeing queries so they can reinforce the constraint set. *)
+let estimate_error locked rng ~samples key =
+  let n = Circuit.num_inputs locked.Locked.oracle in
+  let wrong = ref [] in
+  for _ = 1 to samples do
+    let inputs = Sim.random_vector rng n in
+    let reference = Locked.query_oracle locked inputs in
+    let agree =
+      match Locked.eval_locked locked ~key ~inputs with
+      | outputs -> outputs = reference
+      | exception Sim.Unresolved _ -> false
+    in
+    if not agree then wrong := (inputs, reference) :: !wrong
+  done;
+  float_of_int (List.length !wrong) /. float_of_int samples, !wrong
+
+let run ?(timeout = 60.0) ?(max_iterations = max_int) ?(settle_every = 4)
+    ?(samples = 64) ?(error_threshold = 0.01) ?(seed = 0) locked =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let session = Session.create ~deadline locked in
+  let rng = Random.State.make [| seed; 0xa99 |] in
+  let queries = ref 0 in
+  let finish ?key ?(error = 1.0) ~exact () =
+    {
+      key;
+      estimated_error = error;
+      exact;
+      iterations = Session.iterations session;
+      random_queries = !queries;
+      wall_time = Session.elapsed session;
+    }
+  in
+  let try_settle () =
+    match Session.candidate_key session with
+    | `Key key ->
+      let error, disagreements = estimate_error locked rng ~samples key in
+      queries := !queries + samples;
+      if error <= error_threshold then Some (finish ~key ~error ~exact:false ())
+      else begin
+        (* Reinforce: add the disagreeing oracle observations. *)
+        List.iter
+          (fun (inputs, outputs) -> Session.constrain_io session ~inputs ~outputs)
+          disagreements;
+        None
+      end
+    | `None | `Timeout -> None
+  in
+  let rec loop () =
+    if Session.iterations session >= max_iterations then
+      match Session.candidate_key session with
+      | `Key key ->
+        let error, _ = estimate_error locked rng ~samples key in
+        finish ~key ~error ~exact:false ()
+      | `None | `Timeout -> finish ~exact:false ()
+    else
+      match Session.find_dip session with
+      | `Timeout -> finish ~exact:false ()
+      | `Exhausted ->
+        (match Session.candidate_key session with
+         | `Key key -> finish ~key ~error:0.0 ~exact:true ()
+         | `None | `Timeout -> finish ~exact:false ())
+      | `Dip dip ->
+        Session.observe session dip;
+        if Session.iterations session mod settle_every = 0 then
+          match try_settle () with Some r -> r | None -> loop ()
+        else loop ()
+  in
+  loop ()
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%s key, error %.3f%s, %d iterations, %d random queries, %.2fs"
+    (match r.key with Some _ -> "found" | None -> "no")
+    r.estimated_error
+    (if r.exact then " (exact)" else "")
+    r.iterations r.random_queries r.wall_time

@@ -1,0 +1,23 @@
+module Locked = Fl_locking.Locked
+
+type result = {
+  key : bool array option;
+  keys_tried : int;
+  wall_time : float;
+}
+
+let run ?(vectors = 64) ?(max_keys = 1 lsl 20) locked =
+  let start = Unix.gettimeofday () in
+  let nk = Locked.num_key_bits locked in
+  if nk >= 62 || 1 lsl nk > max_keys then
+    invalid_arg "Brute_force.run: key space too large";
+  let total = 1 lsl nk in
+  let rec go i =
+    if i >= total then None, total
+    else begin
+      let key = Array.init nk (fun b -> i land (1 lsl b) <> 0) in
+      if Locked.key_matches ~vectors locked ~key then Some key, i + 1 else go (i + 1)
+    end
+  in
+  let key, keys_tried = go 0 in
+  { key; keys_tried; wall_time = Unix.gettimeofday () -. start }

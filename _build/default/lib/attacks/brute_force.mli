@@ -1,0 +1,15 @@
+(** Exhaustive key search — the baseline every locking scheme must at least
+    beat, and the ground-truth oracle for testing the SAT attack on small
+    key spaces. *)
+
+type result = {
+  key : bool array option;  (** first functionally-correct key found *)
+  keys_tried : int;
+  wall_time : float;
+}
+
+(** [run ?vectors ?max_keys locked] tests keys in numeric order against the
+    oracle on random vectors (exhaustively over inputs when few).
+    @raise Invalid_argument when the key space exceeds [max_keys]
+    (default 2^20). *)
+val run : ?vectors:int -> ?max_keys:int -> Fl_locking.Locked.t -> result

@@ -1,0 +1,65 @@
+module Gate = Fl_netlist.Gate
+module Circuit = Fl_netlist.Circuit
+module Sim = Fl_netlist.Sim
+module Locked = Fl_locking.Locked
+
+type result = {
+  stripped : Circuit.t;
+  removed_flip_gates : int;
+  bypassed_mux_islands : int;
+  equivalent : bool;
+}
+
+let run ?(vectors = 256) ?(seed = 11) locked =
+  let c = locked.Locked.locked in
+  let tainted = Sps.key_tainted c in
+  let b = Circuit.Builder.create ~name:(c.Circuit.name ^ "-stripped") () in
+  let map = Circuit.copy_nodes_into b c in
+  let flips = ref 0 in
+  let bypasses = ref 0 in
+  for id = 0 to Circuit.num_nodes c - 1 do
+    let nd = Circuit.node c id in
+    match nd.Circuit.kind, nd.Circuit.fanins with
+    | (Gate.Xor | Gate.Xnor), [| x; y |] ->
+      (* Flip-gate pattern: keep the key-free operand; the key-dependent one
+         is presumed to be a point-function flip that is 0 under the correct
+         key (XNOR keeps the complement). *)
+      let clean =
+        if tainted.(x) && not tainted.(y) then Some y
+        else if tainted.(y) && not tainted.(x) then Some x
+        else None
+      in
+      (match clean with
+       | Some keep ->
+         incr flips;
+         let kind = if nd.Circuit.kind = Gate.Xor then Gate.Buf else Gate.Not in
+         Circuit.Builder.replace b map.(id) kind [| map.(keep) |]
+       | None -> ())
+    | Gate.Mux, [| sel; a; _ |] when tainted.(sel) ->
+      (* Key-routed MUX: identity bypass (the select = 0 branch). *)
+      incr bypasses;
+      Circuit.Builder.replace b map.(id) Gate.Buf [| map.(a) |]
+    | _, _ -> ()
+  done;
+  Array.iter (fun (port, id) -> Circuit.Builder.output b port map.(id)) c.Circuit.outputs;
+  let stripped = Circuit.of_builder b in
+  (* Equivalence against the oracle: remaining key inputs are pinned to 0. *)
+  let keys = Array.make (Circuit.num_keys stripped) false in
+  let n = Circuit.num_inputs stripped in
+  let agree inputs =
+    match Sim.eval stripped ~inputs ~keys with
+    | outputs -> outputs = Locked.query_oracle locked inputs
+    | exception Sim.Unresolved _ -> false
+  in
+  let equivalent =
+    if n <= 12 then begin
+      let rec go v = v >= 1 lsl n || (agree (Sim.vector_of_int ~width:n v) && go (v + 1)) in
+      go 0
+    end
+    else begin
+      let rng = Random.State.make [| seed |] in
+      let rec go i = i >= vectors || (agree (Sim.random_vector rng n) && go (i + 1)) in
+      go 0
+    end
+  in
+  { stripped; removed_flip_gates = !flips; bypassed_mux_islands = !bypasses; equivalent }

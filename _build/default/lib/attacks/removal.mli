@@ -1,0 +1,27 @@
+(** Removal attack (Yasin et al.): cut out the locking circuitry and keep
+    the original function.
+
+    Two strategies are combined:
+    - {b flip-gate excision}: a 2-input XOR/XNOR with exactly one
+      key-tainted operand (the SARLock/Anti-SAT pattern, guided by SPS skew)
+      is replaced by its key-free operand;
+    - {b identity bypass}: key-fed MUX islands (crossbars, CLNs) are
+      bypassed by guessing that each island output equals one of its data
+      inputs (the identity routing guess).
+
+    The attack then checks the stripped netlist against the oracle.  It
+    succeeds on point-function schemes, partially on Cross-Lock, and fails
+    on Full-Lock: the twisted (negated) leading gates and key-programmed
+    LUTs make every bypass guess functionally wrong (§4.2.2). *)
+
+type result = {
+  stripped : Fl_netlist.Circuit.t;  (** the candidate de-obfuscated netlist *)
+  removed_flip_gates : int;
+  bypassed_mux_islands : int;
+  equivalent : bool;  (** functional match with the oracle *)
+}
+
+(** [run ?vectors ?seed locked] — equivalence is checked on [vectors]
+    random inputs (default 256), exhaustively when the input count is
+    small. *)
+val run : ?vectors:int -> ?seed:int -> Fl_locking.Locked.t -> result

@@ -1,0 +1,79 @@
+module Circuit = Fl_netlist.Circuit
+module Cdcl = Fl_sat.Cdcl
+module Equiv = Fl_sat.Equiv
+module Locked = Fl_locking.Locked
+
+type status =
+  | Broken of bool array
+  | Timeout
+  | Iteration_limit
+  | No_key_found
+
+type result = {
+  status : status;
+  iterations : int;
+  wall_time : float;
+  key_is_correct : bool;
+  solver : Cdcl.stats;
+  clause_var_ratio : float;
+  dips : bool array list;
+}
+
+type progress = int -> float -> unit
+
+let run ?(timeout = 60.0) ?(max_iterations = max_int) ?(progress = fun _ _ -> ())
+    ?extra_key_constraint locked =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let session = Session.create ?extra_key_constraint ~deadline locked in
+  let finish status dips =
+    let key_is_correct =
+      match status with
+      | Broken key ->
+        (* Formal check when the locked netlist is acyclic; random-vector
+           plus exhaustive-small simulation otherwise (cyclic CNF
+           equivalence would be unsound). *)
+        if Circuit.is_acyclic locked.Locked.locked then
+          Equiv.check_key
+            ~budget:(Cdcl.budget_seconds (max 5.0 timeout))
+            ~locked:locked.Locked.locked ~oracle:locked.Locked.oracle key
+          = Equiv.Equivalent
+        else Locked.key_matches locked ~key
+      | Timeout | Iteration_limit | No_key_found -> false
+    in
+    {
+      status;
+      iterations = Session.iterations session;
+      wall_time = Session.elapsed session;
+      key_is_correct;
+      solver = Session.solver_stats session;
+      clause_var_ratio = Session.clause_var_ratio session;
+      dips;
+    }
+  in
+  let rec loop dips =
+    if Session.iterations session >= max_iterations then finish Iteration_limit dips
+    else
+      match Session.find_dip session with
+      | `Timeout -> finish Timeout dips
+      | `Dip dip ->
+        Session.observe session dip;
+        progress (Session.iterations session) (Session.elapsed session);
+        loop (dip :: dips)
+      | `Exhausted ->
+        (match Session.candidate_key session with
+         | `Key key -> finish (Broken key) dips
+         | `None -> finish No_key_found dips
+         | `Timeout -> finish Timeout dips)
+  in
+  loop []
+
+let pp_result fmt r =
+  let status =
+    match r.status with
+    | Broken _ -> if r.key_is_correct then "broken (key correct)" else "broken (KEY WRONG)"
+    | Timeout -> "timeout"
+    | Iteration_limit -> "iteration limit"
+    | No_key_found -> "no consistent key"
+  in
+  Format.fprintf fmt "%s after %d iterations, %.2fs, ratio %.2f (%a)" status
+    r.iterations r.wall_time r.clause_var_ratio Cdcl.pp_stats r.solver

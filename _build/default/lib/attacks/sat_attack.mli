@@ -1,0 +1,45 @@
+(** The oracle-guided SAT attack of Subramanyan, Ray and Malik (HOST'15).
+
+    Each iteration solves the miter for a discriminating input pattern
+    (DIP), queries the oracle, and adds the observed I/O behaviour as a
+    constraint on both key copies.  When the miter goes UNSAT, any key
+    consistent with the accumulated observations is functionally correct
+    (for acyclic circuits).
+
+    On cyclic locked circuits the plain attack is unsound — the CNF admits
+    spurious stabilisations, so the recovered key may be wrong or the loop
+    may not converge; that failure mode is the paper's motivation for
+    CycSAT, and {!result.key_is_correct} reports it honestly. *)
+
+type status =
+  | Broken of bool array  (** recovered key *)
+  | Timeout  (** wall-clock budget exhausted *)
+  | Iteration_limit
+  | No_key_found  (** miter UNSAT but no consistent key (cyclic pathology) *)
+
+type result = {
+  status : status;
+  iterations : int;
+  wall_time : float;
+  key_is_correct : bool;  (** functional check of the recovered key *)
+  solver : Fl_sat.Cdcl.stats;  (** accumulated over all iterations *)
+  clause_var_ratio : float;  (** of the final attack formula (Fig. 7) *)
+  dips : bool array list;  (** the tested DIPs, most recent first *)
+}
+
+(** Hook called after each iteration with (iteration, elapsed seconds). *)
+type progress = int -> float -> unit
+
+(** [run ?timeout ?max_iterations ?progress ?extra_key_constraint locked]
+    runs the attack.  [extra_key_constraint] (used by CycSAT) may add
+    clauses over a key-variable vector into a formula; it is applied to
+    both miter key copies and to the key-recovery formula. *)
+val run :
+  ?timeout:float ->
+  ?max_iterations:int ->
+  ?progress:progress ->
+  ?extra_key_constraint:(Fl_cnf.Formula.t -> int array -> unit) ->
+  Fl_locking.Locked.t ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,138 @@
+module Circuit = Fl_netlist.Circuit
+module Formula = Fl_cnf.Formula
+module Tseytin = Fl_cnf.Tseytin
+module Miter = Fl_cnf.Miter
+module Cdcl = Fl_sat.Cdcl
+module Locked = Fl_locking.Locked
+
+(* A formula paired with an incremental solver: [sync] feeds the solver only
+   the clauses appended since the last call, so the DIP loop stays linear in
+   the number of iterations instead of rebuilding quadratically. *)
+type tracked = {
+  formula : Formula.t;
+  solver : Cdcl.t;
+  mutable loaded : int;  (* clauses already in the solver *)
+}
+
+let tracked_of formula = { formula; solver = Cdcl.create (); loaded = 0 }
+
+let sync tr =
+  Cdcl.ensure_vars tr.solver (Formula.num_vars tr.formula);
+  let clauses = Formula.clauses tr.formula in
+  for i = tr.loaded to Array.length clauses - 1 do
+    Cdcl.add_clause_a tr.solver clauses.(i)
+  done;
+  tr.loaded <- Array.length clauses
+
+type t = {
+  locked : Locked.t;
+  miter : Miter.t;
+  miter_tracked : tracked;
+  key_tracked : tracked;
+  key_vars : int array;
+  deadline : float;
+  start : float;
+  mutable iteration_count : int;
+  mutable stats : Cdcl.stats;
+}
+
+let zero_stats =
+  {
+    Cdcl.decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    restarts = 0;
+    learned_clauses = 0;
+    learned_literals = 0;
+    max_decision_level = 0;
+  }
+
+let add_stats a b =
+  {
+    Cdcl.decisions = a.Cdcl.decisions + b.Cdcl.decisions;
+    propagations = a.Cdcl.propagations + b.Cdcl.propagations;
+    conflicts = a.Cdcl.conflicts + b.Cdcl.conflicts;
+    restarts = a.Cdcl.restarts + b.Cdcl.restarts;
+    learned_clauses = a.Cdcl.learned_clauses + b.Cdcl.learned_clauses;
+    learned_literals = a.Cdcl.learned_literals + b.Cdcl.learned_literals;
+    max_decision_level = max a.Cdcl.max_decision_level b.Cdcl.max_decision_level;
+  }
+
+let create ?extra_key_constraint ~deadline locked =
+  let circuit = locked.Locked.locked in
+  let miter = Miter.build circuit in
+  let key_formula = Formula.create () in
+  let key_vars = Formula.fresh_vars key_formula (Circuit.num_keys circuit) in
+  (match extra_key_constraint with
+   | Some add ->
+     add key_formula key_vars;
+     add miter.Miter.formula miter.Miter.keys_a;
+     add miter.Miter.formula miter.Miter.keys_b
+   | None -> ());
+  {
+    locked;
+    miter;
+    miter_tracked = tracked_of miter.Miter.formula;
+    key_tracked = tracked_of key_formula;
+    key_vars;
+    deadline;
+    start = Unix.gettimeofday ();
+    iteration_count = 0;
+    stats = zero_stats;
+  }
+
+let elapsed s = Unix.gettimeofday () -. s.start
+let out_of_time s = Unix.gettimeofday () > s.deadline
+let budget s = Cdcl.budget_seconds (s.deadline -. Unix.gettimeofday ())
+
+let find_dip s =
+  if out_of_time s then `Timeout
+  else begin
+    sync s.miter_tracked;
+    let solver = s.miter_tracked.solver in
+    let before = Cdcl.stats solver in
+    let outcome = Cdcl.solve ~budget:(budget s) solver in
+    let after = Cdcl.stats solver in
+    s.stats <-
+      add_stats s.stats
+        {
+          after with
+          Cdcl.decisions = after.Cdcl.decisions - before.Cdcl.decisions;
+          propagations = after.Cdcl.propagations - before.Cdcl.propagations;
+          conflicts = after.Cdcl.conflicts - before.Cdcl.conflicts;
+          restarts = after.Cdcl.restarts - before.Cdcl.restarts;
+          learned_clauses = after.Cdcl.learned_clauses - before.Cdcl.learned_clauses;
+          learned_literals = after.Cdcl.learned_literals - before.Cdcl.learned_literals;
+        };
+    match outcome with
+    | Cdcl.Unknown -> `Timeout
+    | Cdcl.Unsat -> `Exhausted
+    | Cdcl.Sat ->
+      s.iteration_count <- s.iteration_count + 1;
+      `Dip (Array.map (fun v -> Cdcl.value solver v) s.miter.Miter.inputs)
+  end
+
+let constrain_io s ~inputs ~outputs =
+  let circuit = s.locked.Locked.locked in
+  Miter.add_io_constraint s.miter circuit ~inputs ~outputs;
+  let key_formula = s.key_tracked.formula in
+  let enc = Tseytin.encode ~share_keys:s.key_vars key_formula circuit in
+  Tseytin.assert_vector key_formula enc.Tseytin.input_vars inputs;
+  Tseytin.assert_vector key_formula enc.Tseytin.output_vars outputs
+
+let observe s dip =
+  let outputs = Locked.query_oracle s.locked dip in
+  constrain_io s ~inputs:dip ~outputs
+
+let candidate_key s =
+  sync s.key_tracked;
+  let solver = s.key_tracked.solver in
+  let outcome = Cdcl.solve ~budget:(budget s) solver in
+  match outcome with
+  | Cdcl.Sat -> `Key (Array.map (fun v -> Cdcl.value solver v) s.key_vars)
+  | Cdcl.Unsat -> `None
+  | Cdcl.Unknown -> `Timeout
+
+let iterations s = s.iteration_count
+let solver_stats s = s.stats
+let clause_var_ratio s = Formula.ratio s.miter.Miter.formula

@@ -1,0 +1,38 @@
+(** Shared state of an oracle-guided attack: the miter, the accumulated
+    observation constraints, and the key-recovery formula.  {!Sat_attack},
+    {!Cycsat} (via its key-condition emitter) and {!Appsat} all drive their
+    loops through this module. *)
+
+type t
+
+(** [create ?extra_key_constraint ~deadline locked] builds the miter and the
+    key-recovery formula; [extra_key_constraint] is asserted over both miter
+    key copies and the recovery keys.  [deadline] is an absolute Unix
+    time. *)
+val create :
+  ?extra_key_constraint:(Fl_cnf.Formula.t -> int array -> unit) ->
+  deadline:float ->
+  Fl_locking.Locked.t ->
+  t
+
+(** [find_dip s] solves the miter for the next discriminating input
+    pattern.  Increments the iteration counter on success. *)
+val find_dip : t -> [ `Dip of bool array | `Exhausted | `Timeout ]
+
+(** [observe s dip] queries the oracle on [dip] and constrains both key
+    copies and the recovery formula with the observed behaviour. *)
+val observe : t -> bool array -> unit
+
+(** [constrain_io s ~inputs ~outputs] adds an arbitrary I/O observation
+    (AppSAT's random queries). *)
+val constrain_io : t -> inputs:bool array -> outputs:bool array -> unit
+
+(** [candidate_key s] solves the recovery formula for a key consistent with
+    every observation so far. *)
+val candidate_key : t -> [ `Key of bool array | `None | `Timeout ]
+
+val iterations : t -> int
+val solver_stats : t -> Fl_sat.Cdcl.stats
+val clause_var_ratio : t -> float
+val elapsed : t -> float
+val out_of_time : t -> bool

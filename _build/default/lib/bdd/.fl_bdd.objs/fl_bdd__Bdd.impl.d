@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Fl_locking Fl_netlist Hashtbl Option

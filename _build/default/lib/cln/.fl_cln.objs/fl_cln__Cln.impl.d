@@ -1,0 +1,1 @@
+lib/cln/cln.ml: Array Fl_netlist Format List Printf Random Switch_box Topology

@@ -1,0 +1,1 @@
+lib/cln/cln.mli: Fl_netlist Format Random Switch_box Topology

@@ -1,0 +1,1 @@
+lib/cln/coverage.ml: Array Cln Format Hashtbl Printf Random Topology

@@ -1,0 +1,1 @@
+lib/cln/coverage.mli: Cln Format

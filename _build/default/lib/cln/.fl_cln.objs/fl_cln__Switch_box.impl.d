@@ -1,0 +1,1 @@
+lib/cln/switch_box.ml: Fl_netlist

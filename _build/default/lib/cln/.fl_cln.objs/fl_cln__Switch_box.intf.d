@@ -1,0 +1,1 @@
+lib/cln/switch_box.mli: Fl_netlist

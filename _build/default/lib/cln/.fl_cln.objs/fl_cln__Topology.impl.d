@@ -1,0 +1,1 @@
+lib/cln/topology.ml: Array List Printf

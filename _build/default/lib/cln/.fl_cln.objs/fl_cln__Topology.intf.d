@@ -1,0 +1,1 @@
+lib/cln/topology.mli:

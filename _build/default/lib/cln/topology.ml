@@ -1,0 +1,129 @@
+type layer = Route of int array | Switch
+
+type kind =
+  | Omega
+  | Butterfly
+  | Baseline
+  | Log_extra of int
+  | Near_non_blocking
+  | Benes
+
+type t = { n : int; kind : kind; layers : layer list; switch_layers : int }
+
+let log2_exact n =
+  let rec go k m = if m = n then Some k else if m > n then None else go (k + 1) (m * 2) in
+  if n <= 0 then None else go 0 1
+
+(* Perfect shuffle on m-bit indices: left-rotate.  The wire at position j
+   moves to position sigma(j); the Route array is its inverse. *)
+let shuffle_route n m =
+  let sigma j = ((j lsl 1) lor (j lsr (m - 1))) land (n - 1) in
+  let route = Array.make n 0 in
+  for j = 0 to n - 1 do
+    route.(sigma j) <- j
+  done;
+  route
+
+(* Permutation bringing wires that differ in bit [k] onto adjacent pairs:
+   pi(i) moves bit k of i into bit 0, shifting bits 0..k-1 up by one.
+   Route array is pi^-1: the wire landing at position p came from pi^-1(p). *)
+let pair_bit_route n k =
+  let pi i =
+    let bit = (i lsr k) land 1 in
+    let low = i land ((1 lsl k) - 1) in
+    let high = i lsr (k + 1) in
+    (high lsl (k + 1)) lor (low lsl 1) lor bit
+  in
+  let route = Array.make n 0 in
+  for i = 0 to n - 1 do
+    route.(pi i) <- i
+  done;
+  route
+
+let inverse_route route =
+  let n = Array.length route in
+  let inv = Array.make n 0 in
+  for i = 0 to n - 1 do
+    inv.(route.(i)) <- i
+  done;
+  inv
+
+(* One butterfly stage on bit k, keeping positions natural afterwards:
+   route in, switch, route back. *)
+let stage_on_bit n k =
+  if k = 0 then [ Switch ]
+  else begin
+    let r = pair_bit_route n k in
+    [ Route r; Switch; Route (inverse_route r) ]
+  end
+
+let make kind ~n =
+  let m =
+    match log2_exact n with
+    | Some m when m >= 1 -> m
+    | Some _ | None ->
+      invalid_arg "Topology.make: n must be a power of two >= 2"
+  in
+  let butterfly_desc = List.init m (fun s -> stage_on_bit n (m - 1 - s)) in
+  let ascending upto = List.init upto (fun s -> stage_on_bit n (s + 1)) in
+  let layers =
+    match kind with
+    | Omega -> List.concat (List.init m (fun _ -> [ Route (shuffle_route n m); Switch ]))
+    | Butterfly -> List.concat butterfly_desc
+    | Baseline ->
+      (* reversed butterfly: exchange distances 1, 2, …, N/2 *)
+      List.concat (List.init m (fun s -> stage_on_bit n s))
+    | Log_extra extra ->
+      if extra < 0 || extra > m - 1 then
+        invalid_arg "Topology.make: extra stages out of range";
+      List.concat (butterfly_desc @ ascending extra)
+    | Near_non_blocking ->
+      let extra = max 0 (m - 2) in
+      List.concat (butterfly_desc @ ascending extra)
+    | Benes ->
+      let extra = m - 1 in
+      List.concat (butterfly_desc @ ascending extra)
+  in
+  let switch_layers =
+    List.length (List.filter (function Switch -> true | Route _ -> false) layers)
+  in
+  { n; kind; layers; switch_layers }
+
+let num_switch_boxes t = t.switch_layers * t.n / 2
+
+let log_nmp_switch_boxes ~n ~m ~p =
+  let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+  let stages = log2 0 n + m in
+  let plane = stages * n / 2 in
+  (* Output selection: each of the n outputs picks one of p planes through a
+     tree of (p - 1) 2:1 MUXes = (p - 1) / 2 switch-box equivalents each
+     (a 2x2 box is two MUXes). *)
+  (p * plane) + (n * (p - 1) / 2)
+
+let kind_to_string = function
+  | Omega -> "omega"
+  | Butterfly -> "butterfly"
+  | Baseline -> "baseline"
+  | Log_extra m -> Printf.sprintf "log-extra-%d" m
+  | Near_non_blocking -> "near-non-blocking"
+  | Benes -> "benes"
+
+let thread t values ~switch =
+  let current = ref (Array.copy values) in
+  let layer_index = ref 0 in
+  List.iter
+    (fun layer ->
+      match layer with
+      | Route r -> current := Array.map (fun src -> !current.(src)) r
+      | Switch ->
+        let next = Array.copy !current in
+        for box = 0 to (t.n / 2) - 1 do
+          let a = !current.(2 * box) and b = !current.((2 * box) + 1) in
+          let a', b' = switch ~layer_index:!layer_index ~box a b in
+          next.(2 * box) <- a';
+          next.((2 * box) + 1) <- b'
+        done;
+        current := next;
+        incr layer_index)
+    t.layers;
+  !current

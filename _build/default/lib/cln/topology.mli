@@ -1,0 +1,57 @@
+(** Layered descriptions of log₂N switching networks.
+
+    A network over [n] wires (n a power of two) is a sequence of layers:
+    fixed [Route] permutations and [Switch] layers.  Every [Switch] layer
+    places one 2×2 switch-box on each adjacent pair [(0,1), (2,3), …] of the
+    current wire positions; the topologies differ only in the routing between
+    switch layers — exactly the paper's observation that all blocking
+    log₂N networks share the same (N/2)·log₂N switch-box count. *)
+
+type layer =
+  | Route of int array
+      (** [Route r]: the wire arriving at position [i] comes from previous
+          position [r.(i)] *)
+  | Switch  (** a column of N/2 switch-boxes on adjacent pairs *)
+
+type kind =
+  | Omega  (** perfect-shuffle blocking network (Fig. 3) *)
+  | Butterfly  (** banyan/butterfly blocking network *)
+  | Baseline  (** baseline blocking network (reversed butterfly) *)
+  | Log_extra of int
+      (** banyan with [m] extra mirrored stages: LOG(N, m, 1) of Shyy–Lea.
+          [Log_extra 0] is the plain banyan. *)
+  | Near_non_blocking
+      (** LOG(N, log₂N − 2, 1) — the paper's almost non-blocking CLN
+          (Fig. 4) *)
+  | Benes  (** rearrangeably non-blocking, 2·log₂N − 1 switch stages *)
+
+type t = private {
+  n : int;
+  kind : kind;
+  layers : layer list;
+  switch_layers : int;  (** number of [Switch] layers *)
+}
+
+(** [make kind ~n] builds the layered description.
+    @raise Invalid_argument unless [n] is a power of two >= 2, or when the
+    kind needs more stages than [n] allows. *)
+val make : kind -> n:int -> t
+
+(** Number of 2×2 switch-boxes: [switch_layers * n / 2]. *)
+val num_switch_boxes : t -> int
+
+(** [log_nmp_switch_boxes ~n ~m ~p] — switch-box count of a general
+    Shyy–Lea LOG(N,m,p) network: [p] vertically cascaded planes of a banyan
+    with [m] extra stages, plus the per-output p:1 selection multiplexers
+    (counted in 2:1 equivalents).  Used to reproduce the paper's §3.1 cost
+    argument that the strictly non-blocking LOG(64,3,6) is ~5x larger than a
+    blocking CLN, motivating the p = 1 almost non-blocking choice. *)
+val log_nmp_switch_boxes : n:int -> m:int -> p:int -> int
+
+val kind_to_string : kind -> string
+
+(** [apply_routes t sources] threads an array of per-position values through
+    the network, calling [switch] for each switch layer with the pair values
+    and the (layer, box) position, expecting the transformed pair. *)
+val thread :
+  t -> 'a array -> switch:(layer_index:int -> box:int -> 'a -> 'a -> 'a * 'a) -> 'a array

@@ -1,0 +1,1 @@
+lib/cnf/miter.ml: Array Fl_netlist Formula Tseytin

@@ -1,0 +1,1 @@
+lib/cnf/miter.mli: Fl_netlist Formula Tseytin

@@ -1,0 +1,1 @@
+lib/cnf/tseytin.ml: Array Fl_netlist Formula List Printf

@@ -1,0 +1,1 @@
+lib/cnf/tseytin.mli: Fl_netlist Formula

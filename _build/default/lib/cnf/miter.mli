@@ -1,0 +1,32 @@
+(** Miter construction for oracle-guided attacks.
+
+    The miter instantiates two copies of a locked circuit that share the
+    primary inputs but carry independent key variables, and asserts that at
+    least one output pair differs.  Satisfying assignments yield
+    discriminating input patterns (DIPs). *)
+
+type t = {
+  formula : Formula.t;
+  inputs : int array;  (** shared primary-input variables *)
+  keys_a : int array;  (** key variables of copy A *)
+  keys_b : int array;  (** key variables of copy B *)
+  outputs_a : int array;
+  outputs_b : int array;
+  enc_a : Tseytin.encoding;  (** full node-variable map of copy A *)
+  enc_b : Tseytin.encoding;
+}
+
+(** [build c] constructs the miter formula for locked circuit [c].
+    @raise Invalid_argument when [c] has no key inputs. *)
+val build : Fl_netlist.Circuit.t -> t
+
+(** [add_io_constraint m ~inputs ~outputs] encodes one oracle observation:
+    both key copies must reproduce output [outputs] on input [inputs].  Fresh
+    circuit copies are instantiated inside [m.formula] with the pinned
+    input values. *)
+val add_io_constraint :
+  t -> Fl_netlist.Circuit.t -> inputs:bool array -> outputs:bool array -> unit
+
+(** [clause_variable_ratio c] is the clauses-to-variables ratio of the
+    initial attack formula on [c] — the metric of Fig. 7. *)
+val clause_variable_ratio : Fl_netlist.Circuit.t -> float

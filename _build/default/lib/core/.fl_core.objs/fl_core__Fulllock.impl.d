@@ -1,0 +1,1 @@
+lib/core/fulllock.ml: Array Fl_cln Fl_locking Fl_netlist Format Hashtbl List Printf Random String

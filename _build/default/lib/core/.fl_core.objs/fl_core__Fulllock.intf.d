@@ -1,0 +1,1 @@
+lib/core/fulllock.mli: Fl_cln Fl_locking Fl_netlist Format Random

@@ -1,0 +1,1 @@
+lib/locking/antisat.ml: Array Fl_netlist Insertion_util Random

@@ -1,0 +1,1 @@
+lib/locking/antisat.mli: Fl_netlist Locked Random

@@ -1,0 +1,1 @@
+lib/locking/cross_lock.ml: Array Fl_netlist Insertion_util Random

@@ -1,0 +1,1 @@
+lib/locking/cross_lock.mli: Fl_netlist Locked Random

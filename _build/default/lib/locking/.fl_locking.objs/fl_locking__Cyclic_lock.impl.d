@@ -1,0 +1,1 @@
+lib/locking/cyclic_lock.ml: Array Fl_netlist Insertion_util List Random

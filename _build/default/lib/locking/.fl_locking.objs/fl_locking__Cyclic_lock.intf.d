@@ -1,0 +1,1 @@
+lib/locking/cyclic_lock.mli: Fl_netlist Locked Random

@@ -1,0 +1,1 @@
+lib/locking/insertion_util.ml: Array Fl_netlist Hashtbl List Locked Option Printf Random

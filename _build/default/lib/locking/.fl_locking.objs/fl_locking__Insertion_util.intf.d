@@ -1,0 +1,1 @@
+lib/locking/insertion_util.mli: Fl_netlist Locked Random

@@ -1,0 +1,1 @@
+lib/locking/locked.mli: Fl_netlist Format Random

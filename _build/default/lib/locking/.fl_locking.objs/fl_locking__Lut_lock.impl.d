@@ -1,0 +1,1 @@
+lib/locking/lut_lock.ml: Array Fl_netlist Insertion_util List Random

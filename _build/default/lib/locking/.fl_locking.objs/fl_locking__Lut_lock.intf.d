@@ -1,0 +1,1 @@
+lib/locking/lut_lock.mli: Fl_netlist Locked Random

@@ -1,0 +1,1 @@
+lib/locking/mux_lock.mli: Fl_netlist Locked Random

@@ -1,0 +1,1 @@
+lib/locking/rll.ml: Array Fl_netlist Insertion_util Random

@@ -1,0 +1,1 @@
+lib/locking/rll.mli: Fl_netlist Locked Random

@@ -1,0 +1,1 @@
+lib/locking/sarlock.ml: Array Fl_netlist Insertion_util Random

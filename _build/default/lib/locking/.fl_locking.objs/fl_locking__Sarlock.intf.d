@@ -1,0 +1,1 @@
+lib/locking/sarlock.mli: Fl_netlist Locked Random

@@ -1,0 +1,1 @@
+lib/locking/sfll.mli: Fl_netlist Locked Random

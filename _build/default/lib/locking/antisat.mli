@@ -1,0 +1,9 @@
+(** Anti-SAT (Xie & Srivastava, CHES'16): the flip signal is
+    [g(X ⊕ K1) ∧ ¬g(X ⊕ K2)] with [g] an AND tree.  Any key with [K1 = K2]
+    is correct (the flip is identically zero); wrong keys corrupt very few
+    input patterns.  The SPS attack locates the block by the extreme signal
+    probability skew of the AND trees — reproduced in [Fl_attacks.Sps]. *)
+
+(** [lock rng ~key_bits c] uses [key_bits/2] input bits per half (clipped to
+    the input count), i.e. the key is [K1 ++ K2]. *)
+val lock : Random.State.t -> key_bits:int -> Fl_netlist.Circuit.t -> Locked.t

@@ -1,0 +1,11 @@
+(** Cross-Lock (Shamsi et al., GLSVLSI'18): interconnect locking through an
+    N×N one-time-programmable crossbar.  Each crossbar output is a full MUX
+    tree over all N selected wires with its own ⌈log₂N⌉ select key bits —
+    dense, but a single shallow MUX tree per output; Full-Lock's cascaded
+    switch-boxes produce much harder per-iteration SAT instances (Table 5). *)
+
+(** [lock rng ~n c] routes [n] mutually independent wires (no path between
+    any two — the insertion stays acyclic) through a crossbar configured
+    with a random permutation.
+    @raise Invalid_argument when [n] independent wires cannot be found. *)
+val lock : Random.State.t -> n:int -> Fl_netlist.Circuit.t -> Locked.t

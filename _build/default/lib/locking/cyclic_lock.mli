@@ -1,0 +1,16 @@
+(** Cyclic logic locking in the spirit of SRCLock (Roshanisefat et al.,
+    GLSVLSI'18 — the paper's reference [16]).
+
+    Key-controlled MUXes introduce feedback edges: with the correct key the
+    MUX selects the original forward wire and the circuit is a DAG
+    functionally; wrong keys close real combinational loops, trapping a
+    plain (acyclic) SAT attack in spurious stabilisations or oscillation.
+    CycSAT's no-structural-cycle preprocessing is the published counter —
+    exercised against this scheme in the tests. *)
+
+(** [lock rng ~cycles c] inserts [cycles] feedback MUXes.  Each picks a wire
+    [w] and a node [d] strictly downstream of [w], and replaces [w]'s
+    consumers with [MUX(k, w, d)]: the correct key bit 0 selects [w], key
+    bit 1 closes the [w -> … -> d -> MUX -> …] loop.
+    @raise Invalid_argument when no suitable wire pairs exist. *)
+val lock : Random.State.t -> cycles:int -> Fl_netlist.Circuit.t -> Locked.t

@@ -1,0 +1,183 @@
+module Gate = Fl_netlist.Gate
+module Circuit = Fl_netlist.Circuit
+
+module Key_bag = struct
+  type t = { builder : Circuit.Builder.t; mutable values : bool list (* reversed *) }
+
+  let create builder = { builder; values = [] }
+
+  let fresh bag correct_value =
+    let id = Circuit.Builder.key_input bag.builder in
+    bag.values <- correct_value :: bag.values;
+    id
+
+  let fresh_vector bag values = Array.map (fun v -> fresh bag v) values
+  let correct_key bag = Array.of_list (List.rev bag.values)
+  let count bag = List.length bag.values
+end
+
+let redirect b ~from_id ~to_id ~limit ?(except = []) () =
+  for id = 0 to limit - 1 do
+    if not (List.mem id except) then begin
+      let fanins = Circuit.Builder.fanins_of b id in
+      if Array.exists (fun f -> f = from_id) fanins then
+        Circuit.Builder.set_fanins b id
+          (Array.map (fun f -> if f = from_id then to_id else f) fanins)
+    end
+  done
+
+let lockable_gates c =
+  let ids = ref [] in
+  for id = Circuit.num_nodes c - 1 downto 0 do
+    match (Circuit.node c id).Circuit.kind with
+    | Gate.Input | Gate.Key_input | Gate.Const _ -> ()
+    | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+    | Gate.Xor | Gate.Xnor | Gate.Mux | Gate.Lut _ ->
+      ids := id :: !ids
+  done;
+  Array.of_list !ids
+
+let shuffle rng a =
+  let a = Array.copy a in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let select_wires c rng ~count ~policy =
+  let candidates = shuffle rng (lockable_gates c) in
+  if Array.length candidates < count then
+    invalid_arg "Insertion_util.select_wires: not enough gates";
+  match policy with
+  | `Any -> Array.sub candidates 0 count
+  | `Independent ->
+    (* Greedy independent set (no path in either direction between any two
+       chosen wires).  The greedy outcome is order-sensitive, so retry a few
+       shuffles before concluding the circuit is too narrow. *)
+    let cones = Hashtbl.create 16 in
+    let fanin_of id =
+      match Hashtbl.find_opt cones id with
+      | Some mask -> mask
+      | None ->
+        let mask = Circuit.transitive_fanin c id in
+        Hashtbl.add cones id mask;
+        mask
+    in
+    let attempt order =
+      let chosen = ref [] in
+      let independent id =
+        List.for_all
+          (fun other -> (not (fanin_of id).(other)) && not (fanin_of other).(id))
+          !chosen
+      in
+      Array.iter
+        (fun id ->
+          if List.length !chosen < count && independent id then
+            chosen := id :: !chosen)
+        order;
+      if List.length !chosen >= count then Some (Array.of_list (List.rev !chosen))
+      else None
+    in
+    let rec retry tries order =
+      match attempt order with
+      | Some wires -> wires
+      | None ->
+        if tries = 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Insertion_util.select_wires: could not find %d independent wires"
+               count)
+        else retry (tries - 1) (shuffle rng order)
+    in
+    retry 8 candidates
+  | `Connected ->
+    (* Seed with a random wire, then prefer wires connected (either
+       direction) to the current set; fall back to arbitrary wires. *)
+    let chosen = ref [ candidates.(0) ] in
+    let connected id =
+      List.exists
+        (fun other ->
+          Circuit.reaches c ~src:id ~dst:other || Circuit.reaches c ~src:other ~dst:id)
+        !chosen
+    in
+    let rest = Array.sub candidates 1 (Array.length candidates - 1) in
+    Array.iter
+      (fun id -> if List.length !chosen < count && connected id then chosen := id :: !chosen)
+      rest;
+    Array.iter
+      (fun id ->
+        if List.length !chosen < count && not (List.mem id !chosen) then
+          chosen := id :: !chosen)
+      rest;
+    Array.of_list (List.rev !chosen)
+
+module Pass = struct
+  type t = {
+    builder : Circuit.Builder.t;
+    bag : Key_bag.t;
+    map : int array;
+    drivers : int array;
+    orig : Circuit.t;
+  }
+
+  let start ~name orig =
+    let builder = Circuit.Builder.create ~name:(orig.Circuit.name ^ "-" ^ name) () in
+    let map = Circuit.copy_nodes_into builder orig in
+    {
+      builder;
+      bag = Key_bag.create builder;
+      map;
+      drivers = Array.map (fun (_, id) -> map.(id)) orig.Circuit.outputs;
+      orig;
+    }
+
+  let builder p = p.builder
+  let bag p = p.bag
+  let wire p id = p.map.(id)
+
+  let snapshot p = Circuit.Builder.size p.builder
+
+  let set_driver p ~output_index ~to_id = p.drivers.(output_index) <- to_id
+
+  let redirect_wire ?limit p ~from_id ~to_id =
+    (* Nodes at or after [limit] belong to the block being inserted and read
+       the original wire on purpose. *)
+    let limit = Option.value ~default:to_id limit in
+    redirect p.builder ~from_id ~to_id ~limit ();
+    Array.iteri (fun i d -> if d = from_id then p.drivers.(i) <- to_id) p.drivers
+
+  let finish p ~scheme =
+    Array.iteri
+      (fun i (name, _) -> Circuit.Builder.output p.builder name p.drivers.(i))
+      p.orig.Circuit.outputs;
+    {
+      Locked.locked = Circuit.of_builder p.builder;
+      oracle = p.orig;
+      correct_key = Key_bag.correct_key p.bag;
+      scheme;
+    }
+end
+
+let keyed_lut b bag ~addr ~truth_table =
+  let k = Array.length addr in
+  if Array.length truth_table <> 1 lsl k then
+    invalid_arg "Insertion_util.keyed_lut: table size mismatch";
+  let leaves = Key_bag.fresh_vector bag truth_table in
+  (* Reduce pairs (2i, 2i+1) selecting on addr.(level): leaves are LSB-first,
+     so adjacent entries differ in address bit [level]. *)
+  let rec reduce values level =
+    match Array.length values with
+    | 1 -> values.(0)
+    | len ->
+      let half = len / 2 in
+      let next =
+        Array.init half (fun i ->
+            Circuit.Builder.add b Gate.Mux
+              [| addr.(level); values.(2 * i); values.((2 * i) + 1) |])
+      in
+      reduce next (level + 1)
+  in
+  reduce leaves 0

@@ -1,0 +1,97 @@
+module Circuit = Fl_netlist.Circuit
+module Sim = Fl_netlist.Sim
+
+type t = {
+  locked : Circuit.t;
+  oracle : Circuit.t;
+  correct_key : bool array;
+  scheme : string;
+}
+
+let query_oracle t inputs = Sim.eval t.oracle ~inputs ~keys:[||]
+let eval_locked t ~key ~inputs = Sim.eval t.locked ~inputs ~keys:key
+
+let key_matches ?(exhaustive_limit = 10) ?(vectors = 256) ?(seed = 7) t ~key =
+  let n = Circuit.num_inputs t.oracle in
+  let agree inputs =
+    match eval_locked t ~key ~inputs with
+    | outputs -> outputs = query_oracle t inputs
+    | exception Sim.Unresolved _ -> false
+  in
+  if n <= exhaustive_limit then begin
+    let rec go v = v >= 1 lsl n || (agree (Sim.vector_of_int ~width:n v) && go (v + 1)) in
+    go 0
+  end
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let rec go i = i >= vectors || (agree (Sim.random_vector rng n) && go (i + 1)) in
+    go 0
+  end
+
+let verify ?exhaustive_limit ?vectors ?seed t =
+  key_matches ?exhaustive_limit ?vectors ?seed t ~key:t.correct_key
+
+let output_corruption ?(trials = 16) ?(vectors = 64) t rng =
+  let n = Circuit.num_inputs t.oracle in
+  let nk = Array.length t.correct_key in
+  let total = ref 0.0 in
+  let samples = ref 0 in
+  for _ = 1 to trials do
+    let key = Array.init nk (fun _ -> Random.State.bool rng) in
+    if key <> t.correct_key then
+      for _ = 1 to vectors do
+        let inputs = Sim.random_vector rng n in
+        let reference = query_oracle t inputs in
+        let fraction =
+          match eval_locked t ~key ~inputs with
+          | outputs ->
+            let diff = ref 0 in
+            Array.iteri (fun i v -> if v <> reference.(i) then incr diff) outputs;
+            float_of_int !diff /. float_of_int (Array.length reference)
+          | exception Sim.Unresolved _ -> 1.0
+        in
+        total := !total +. fraction;
+        incr samples
+      done
+  done;
+  if !samples = 0 then 0.0 else !total /. float_of_int !samples
+
+let output_corruption_fast ?(trials = 16) ?(batches = 2) t rng =
+  let n = Circuit.num_inputs t.oracle in
+  let nk = Array.length t.correct_key in
+  let corrupted = ref 0 and total = ref 0 in
+  let popcount x =
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+    go (x land max_int) (if x < 0 then 1 else 0)
+  in
+  for _ = 1 to trials do
+    let key = Array.init nk (fun _ -> Random.State.bool rng) in
+    if key <> t.correct_key then begin
+      let packed_key = Array.map (fun b -> if b then -1 else 0) key in
+      for _ = 1 to batches do
+        let inputs = Fl_netlist.Sim_word.random_words rng ~width:n in
+        let reference = Fl_netlist.Sim_word.eval t.oracle ~inputs ~keys:[||] in
+        let out = Fl_netlist.Sim_word.eval_tristate t.locked ~inputs ~keys:packed_key in
+        Array.iteri
+          (fun i w ->
+            (* A lane is corrupted when it differs from the oracle or never
+               settles (undefined). *)
+            let bad =
+              lnot w.Fl_netlist.Sim_word.defined
+              lor ((w.Fl_netlist.Sim_word.value lxor reference.(i))
+                   land w.Fl_netlist.Sim_word.defined)
+            in
+            corrupted := !corrupted + popcount bad;
+            total := !total + Fl_netlist.Sim_word.lanes)
+          out
+      done
+    end
+  done;
+  if !total = 0 then 0.0 else float_of_int !corrupted /. float_of_int !total
+
+let num_key_bits t = Array.length t.correct_key
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d gates locked with %d key bits (oracle: %d gates)"
+    t.scheme (Circuit.num_gates t.locked) (num_key_bits t)
+    (Circuit.num_gates t.oracle)

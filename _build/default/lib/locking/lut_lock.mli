@@ -1,0 +1,10 @@
+(** LUT-Lock (Kamali et al., ISVLSI'18): selected gates are replaced by
+    key-programmable LUTs (MUX trees whose leaves are key bits).  The
+    translated CNF is MUX-based like Full-Lock's, but without back-to-back
+    cascading the DPLL tree stays shallow (Fig. 7 discussion). *)
+
+(** [lock rng ~gates c] replaces [gates] randomly chosen gates of fan-in
+    <= [max_fanin] (default 4) with keyed LUTs; a gate with [k] fanins
+    consumes [2^k] key bits. *)
+val lock :
+  ?max_fanin:int -> Random.State.t -> gates:int -> Fl_netlist.Circuit.t -> Locked.t

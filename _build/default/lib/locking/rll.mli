@@ -1,0 +1,9 @@
+(** Random logic locking (EPIC-style): XOR/XNOR key gates on random wires —
+    the primitive scheme the SAT attack of Subramanyan et al. breaks in
+    polynomial time.  Baseline for Fig. 7. *)
+
+(** [lock rng ~key_bits c] inserts [key_bits] key gates.  Each locked wire
+    gets an XOR (correct bit 0) or XNOR (correct bit 1), chosen at random.
+    @raise Invalid_argument when the circuit has fewer gates than
+    [key_bits]. *)
+val lock : Random.State.t -> key_bits:int -> Fl_netlist.Circuit.t -> Locked.t

@@ -1,0 +1,9 @@
+(** SARLock (Yasin et al., HOST'16): a comparator-based point function that
+    flips one output only when the applied input equals the applied key and
+    the key is wrong.  Each DIP rules out exactly one key, forcing ~2^|K| SAT
+    iterations — at the price of near-zero output corruption (§2 of the
+    Full-Lock paper). *)
+
+(** [lock rng ~key_bits c] — [key_bits] is clipped to the circuit's input
+    count.  The flip is XORed into the first output. *)
+val lock : Random.State.t -> key_bits:int -> Fl_netlist.Circuit.t -> Locked.t

@@ -1,0 +1,17 @@
+(** SFLL-HD (Yasin et al., CCS'17 — the paper's reference [30],
+    "provably-secure logic locking").
+
+    Stripped-functionality locking: the design is shipped with the minterms
+    at Hamming distance [h] from a secret pattern {e stripped} (hard-wired
+    flip), and a restore unit flips them back whenever the applied key is at
+    distance [h] from the input.  With the correct key (= the secret
+    pattern) strip and restore cancel everywhere.  Each wrong key corrupts
+    C(w,h)·2^(n-w) input patterns, giving the scheme its tunable — and for
+    small [h], very low — corruption, which Full-Lock's §2 argues is the
+    fundamental weakness of this family. *)
+
+(** [lock rng ~key_bits ~h c] — [key_bits] is clipped to the input count;
+    [h] must satisfy [0 <= h <= key_bits].
+    @raise Invalid_argument on a bad [h]. *)
+val lock :
+  Random.State.t -> key_bits:int -> h:int -> Fl_netlist.Circuit.t -> Locked.t

@@ -1,0 +1,1 @@
+lib/netlist/bench_suite.ml: Bench_io Char Generator List String

@@ -1,0 +1,1 @@
+lib/netlist/bench_suite.mli: Circuit

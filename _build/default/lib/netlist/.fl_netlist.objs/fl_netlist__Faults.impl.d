@@ -1,0 +1,1 @@
+lib/netlist/faults.ml: Array Circuit Format Gate List Random Sim_word

@@ -1,0 +1,1 @@
+lib/netlist/faults.mli: Circuit Format

@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Circuit Gate Hashtbl List Printf Random

@@ -1,0 +1,1 @@
+lib/netlist/opt.ml: Array Circuit Format Gate Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/netlist/opt.mli: Circuit Format

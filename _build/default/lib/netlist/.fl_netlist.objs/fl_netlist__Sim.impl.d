@@ -1,0 +1,1 @@
+lib/netlist/sim.ml: Array Circuit Gate List Printf Random

@@ -1,0 +1,1 @@
+lib/netlist/sim_word.ml: Array Circuit Gate List Random Sim Sys

@@ -1,0 +1,1 @@
+lib/netlist/sim_word.mli: Circuit Random

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Circuit Filename Gate Hashtbl List Option Printf String

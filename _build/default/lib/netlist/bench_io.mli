@@ -1,0 +1,26 @@
+(** ISCAS-85 [.bench] format reader and writer.
+
+    The dialect accepted matches the classic benchmark distribution plus the
+    extensions used by logic-locking tools:
+
+    {v
+    # comment
+    INPUT(a)
+    KEYINPUT(k0)          # extension: key input (also accepted: INPUT(keyinput0))
+    OUTPUT(y)
+    w1 = NAND(a, b)
+    w2 = MUX(s, a, b)
+    w3 = LUT 0x8 (a, b)   # extension: constant LUT, hex table LSB-first
+    v}
+
+    Input names starting with [keyinput] are treated as key inputs, matching
+    the convention of published locked benchmarks. *)
+
+exception Parse_error of int * string
+(** [(line, message)] *)
+
+val parse_string : ?name:string -> string -> Circuit.t
+val parse_file : string -> Circuit.t
+
+val to_string : Circuit.t -> string
+val write_file : Circuit.t -> string -> unit

@@ -1,0 +1,71 @@
+type entry = {
+  circuit_name : string;
+  gates : int;
+  inputs : int;
+  outputs : int;
+  family : [ `Iscas85 | `Mcnc ];
+}
+
+(* Gate and I/O counts exactly as reported in Table 5 of the paper. *)
+let entries =
+  [
+    { circuit_name = "c432"; gates = 160; inputs = 36; outputs = 7; family = `Iscas85 };
+    { circuit_name = "c499"; gates = 202; inputs = 41; outputs = 32; family = `Iscas85 };
+    { circuit_name = "c880"; gates = 386; inputs = 60; outputs = 26; family = `Iscas85 };
+    { circuit_name = "c1355"; gates = 546; inputs = 41; outputs = 32; family = `Iscas85 };
+    { circuit_name = "c1908"; gates = 880; inputs = 33; outputs = 25; family = `Iscas85 };
+    { circuit_name = "c2670"; gates = 1193; inputs = 157; outputs = 64; family = `Iscas85 };
+    { circuit_name = "c3540"; gates = 1669; inputs = 50; outputs = 22; family = `Iscas85 };
+    { circuit_name = "c5315"; gates = 2307; inputs = 178; outputs = 123; family = `Iscas85 };
+    { circuit_name = "c7552"; gates = 3512; inputs = 206; outputs = 107; family = `Iscas85 };
+    { circuit_name = "apex2"; gates = 610; inputs = 39; outputs = 3; family = `Mcnc };
+    { circuit_name = "apex4"; gates = 5360; inputs = 10; outputs = 19; family = `Mcnc };
+    { circuit_name = "i4"; gates = 338; inputs = 192; outputs = 6; family = `Mcnc };
+    { circuit_name = "i7"; gates = 1315; inputs = 199; outputs = 67; family = `Mcnc };
+  ]
+
+let names = List.map (fun e -> e.circuit_name) entries
+
+let find name =
+  List.find_opt (fun e -> String.equal e.circuit_name name) entries
+
+(* Stable per-circuit seed so the suite is reproducible across runs. *)
+let seed_of_name name =
+  String.fold_left (fun acc c -> (acc * 131) + Char.code c) 7 name land 0x3fffffff
+
+let load_scaled name ~scale =
+  if scale < 1 then invalid_arg "Bench_suite.load_scaled: scale must be >= 1";
+  match find name with
+  | None -> raise Not_found
+  | Some e ->
+    let shrink v floor = max floor (v / scale) in
+    let profile =
+      {
+        Generator.num_inputs = shrink e.inputs 4;
+        num_outputs = shrink e.outputs 1;
+        num_gates = shrink e.gates 8;
+        max_fanin = 4;
+        and_bias = (match e.family with `Iscas85 -> 0.85 | `Mcnc -> 0.7);
+      }
+    in
+    Generator.random ~seed:(seed_of_name name) ~name profile
+
+let load name = load_scaled name ~scale:1
+
+let c17_text =
+  "# c17 (ISCAS-85, public)\n\
+   INPUT(G1)\n\
+   INPUT(G2)\n\
+   INPUT(G3)\n\
+   INPUT(G6)\n\
+   INPUT(G7)\n\
+   OUTPUT(G22)\n\
+   OUTPUT(G23)\n\
+   G10 = NAND(G1, G3)\n\
+   G11 = NAND(G3, G6)\n\
+   G16 = NAND(G2, G11)\n\
+   G19 = NAND(G11, G7)\n\
+   G22 = NAND(G10, G16)\n\
+   G23 = NAND(G16, G19)\n"
+
+let c17 () = Bench_io.parse_string ~name:"c17" c17_text

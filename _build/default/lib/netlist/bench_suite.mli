@@ -1,0 +1,33 @@
+(** The benchmark suite used by the paper's evaluation (Tables 4 and 5).
+
+    The ISCAS-85 and MCNC netlists themselves are not redistributable, so each
+    entry (except the public [c17], which is embedded verbatim) is a seeded
+    synthetic circuit with exactly the gate and I/O counts the paper reports.
+    The substitution is documented in DESIGN.md. *)
+
+type entry = {
+  circuit_name : string;
+  gates : int;
+  inputs : int;
+  outputs : int;
+  family : [ `Iscas85 | `Mcnc ];
+}
+
+(** The thirteen circuits of Table 5, in paper order. *)
+val entries : entry list
+
+val find : string -> entry option
+
+(** [load name] builds the suite circuit (deterministic across runs).
+    @raise Not_found for an unknown name. *)
+val load : string -> Circuit.t
+
+(** [load_scaled name ~scale] shrinks the gate/IO counts by [scale] (>= 1)
+    for fast test and bench runs while keeping the circuit's shape; scale 1 is
+    {!load}. *)
+val load_scaled : string -> scale:int -> Circuit.t
+
+(** The real ISCAS-85 [c17] netlist (public domain, 6 NAND gates). *)
+val c17 : unit -> Circuit.t
+
+val names : string list

@@ -1,0 +1,49 @@
+let escape name =
+  String.map (fun c -> if c = '"' || c = '\\' then '_' else c) name
+
+let to_string c =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape c.Circuit.name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [fontsize=10];\n";
+  for id = 0 to Circuit.num_nodes c - 1 do
+    let nd = Circuit.node c id in
+    let shape, extra =
+      match nd.Circuit.kind with
+      | Gate.Input -> "box", ""
+      | Gate.Key_input -> "box", ", color=red, fontcolor=red"
+      | Gate.Const _ -> "plaintext", ""
+      | Gate.Mux -> "trapezium", ""
+      | Gate.Lut _ -> "component", ""
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        "ellipse", ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\\n%s\", shape=%s%s];\n" id
+         (escape nd.Circuit.name)
+         (Gate.to_string nd.Circuit.kind)
+         shape extra);
+    Array.iteri
+      (fun slot f ->
+        let attr =
+          match nd.Circuit.kind with
+          | Gate.Mux when slot = 0 -> " [style=dashed, label=\"s\"]"
+          | _ -> ""
+        in
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" f id attr))
+      nd.Circuit.fanins
+  done;
+  Array.iter
+    (fun (port, id) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  out_%s [label=\"%s\", shape=doublecircle];\n"
+           (escape port) (escape port));
+      Buffer.add_string buf (Printf.sprintf "  n%d -> out_%s;\n" id (escape port)))
+    c.Circuit.outputs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file c path =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,7 @@
+(** Graphviz DOT export for visual inspection of (locked) netlists. *)
+
+(** [to_string c] renders the circuit; inputs are boxes, key inputs are
+    red boxes, outputs are double circles. *)
+val to_string : Circuit.t -> string
+
+val write_file : Circuit.t -> string -> unit

@@ -1,0 +1,22 @@
+(** Seeded random combinational-circuit generation.
+
+    Generated circuits are valid DAGs where every gate lies on a path to some
+    output; they stand in for benchmark suites that cannot be redistributed. *)
+
+type profile = {
+  num_inputs : int;
+  num_outputs : int;
+  num_gates : int;
+  max_fanin : int;  (** clipped to \[2, 5\]; matches the ISCAS fan-in range *)
+  and_bias : float;
+      (** 0..1: fraction of AND/NAND/OR/NOR vs XOR/XNOR/NOT — ISCAS circuits
+          are NAND-heavy, so the suite uses a high bias *)
+}
+
+val default_profile : profile
+
+(** [random ~seed ~name profile] draws a circuit matching [profile].  The
+    construction guarantees: acyclic, every input is read, every gate
+    transitively feeds an output, gate count is exactly [profile.num_gates].
+    @raise Invalid_argument on a degenerate profile. *)
+val random : seed:int -> name:string -> profile -> Circuit.t

@@ -1,0 +1,306 @@
+type stats = {
+  constants_folded : int;
+  buffers_collapsed : int;
+  gates_simplified : int;
+  dead_nodes_removed : int;
+}
+
+(* The pass works on mutable copies of the kind/fanin tables.  BUF nodes act
+   as alias pointers: [resolve] chases BUF chains (outside cycles), so
+   turning a node into [Buf target] is how every "replace by an equivalent
+   wire" rule is expressed. *)
+let run c =
+  let n = Circuit.num_nodes c in
+  let kinds = Array.init n (fun id -> (Circuit.node c id).Circuit.kind) in
+  let fanins = Array.init n (fun id -> Array.copy (Circuit.node c id).Circuit.fanins) in
+  (* Nodes on combinational cycles are left untouched. *)
+  let scc = Circuit.strongly_connected_components c in
+  let scc_size = Hashtbl.create 16 in
+  Array.iter
+    (fun s -> Hashtbl.replace scc_size s (1 + Option.value ~default:0 (Hashtbl.find_opt scc_size s)))
+    scc;
+  let in_cycle id =
+    Hashtbl.find scc_size scc.(id) > 1
+    || Array.exists (fun f -> f = id) fanins.(id)
+  in
+  let cyclic = Array.init n in_cycle in
+  let rec resolve id =
+    match kinds.(id) with
+    | Gate.Buf when not cyclic.(id) -> resolve fanins.(id).(0)
+    | _ -> id
+  in
+  let const_of id =
+    match kinds.(resolve id) with Gate.Const b -> Some b | _ -> None
+  in
+  let consts = ref 0 and buffers = ref 0 and simplified = ref 0 in
+  let set_const id b =
+    incr consts;
+    kinds.(id) <- Gate.Const b;
+    fanins.(id) <- [||]
+  in
+  let set_alias id target =
+    incr buffers;
+    kinds.(id) <- Gate.Buf;
+    fanins.(id) <- [| target |]
+  in
+  let set_gate id kind fs =
+    incr simplified;
+    kinds.(id) <- kind;
+    fanins.(id) <- fs
+  in
+  (* One simplification attempt; returns true when the node changed. *)
+  let simplify id =
+    if cyclic.(id) then false
+    else begin
+      let before_kind = kinds.(id) and before_fanins = fanins.(id) in
+      let fs = Array.map resolve fanins.(id) in
+      if fs <> fanins.(id) then fanins.(id) <- fs;
+      (match kinds.(id) with
+       | Gate.Input | Gate.Key_input | Gate.Const _ -> ()
+       | Gate.Buf ->
+         (match const_of fs.(0) with
+          | Some b -> set_const id b
+          | None -> ())
+       | Gate.Not ->
+         (match const_of fs.(0) with
+          | Some b -> set_const id (not b)
+          | None -> ())
+       | (Gate.And | Gate.Nand | Gate.Or | Gate.Nor) as kind ->
+         let is_and = kind = Gate.And || kind = Gate.Nand in
+         let negated = kind = Gate.Nand || kind = Gate.Nor in
+         let annihilator = not is_and in
+         (* absorbing constant: 0 for AND, 1 for OR *)
+         let absorbed =
+           Array.exists (fun f -> const_of f = Some annihilator) fs
+         in
+         if absorbed then set_const id (annihilator <> negated)
+         else begin
+           (* Drop identity constants and duplicate operands. *)
+           let seen = Hashtbl.create 4 in
+           let keep =
+             Array.to_list fs
+             |> List.filter (fun f ->
+                    match const_of f with
+                    | Some _ -> false  (* identity constant *)
+                    | None ->
+                      if Hashtbl.mem seen f then false
+                      else begin
+                        Hashtbl.add seen f ();
+                        true
+                      end)
+           in
+           match keep with
+           | [] -> set_const id (is_and <> negated)
+           | [ x ] -> if negated then set_gate id Gate.Not [| x |] else set_alias id x
+           | many when List.length many < Array.length fs ->
+             set_gate id kind (Array.of_list many)
+           | _ -> ()
+         end
+       | (Gate.Xor | Gate.Xnor) as kind ->
+         let flip0 = kind = Gate.Xnor in
+         let const_parity = ref false in
+         let counts = Hashtbl.create 4 in
+         Array.iter
+           (fun f ->
+             match const_of f with
+             | Some b -> if b then const_parity := not !const_parity
+             | None ->
+               Hashtbl.replace counts f
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt counts f)))
+           fs;
+         let operands =
+           Hashtbl.fold (fun f k acc -> if k land 1 = 1 then f :: acc else acc) counts []
+           |> List.sort compare
+         in
+         let flip = flip0 <> !const_parity in
+         (match operands with
+          | [] -> set_const id flip
+          | [ x ] -> if flip then set_gate id Gate.Not [| x |] else set_alias id x
+          | many ->
+            let changed =
+              List.length many < Array.length fs || flip <> flip0
+            in
+            if changed then
+              set_gate id (if flip then Gate.Xnor else Gate.Xor) (Array.of_list many))
+       | Gate.Mux ->
+         let s = fs.(0) and a = fs.(1) and b = fs.(2) in
+         (match const_of s with
+          | Some sel -> set_alias id (if sel then b else a)
+          | None ->
+            if a = b then set_alias id a
+            else
+              (match const_of a, const_of b with
+               | Some false, Some true -> set_alias id s
+               | Some true, Some false -> set_gate id Gate.Not [| s |]
+               | _, _ -> ()))
+       | Gate.Lut tt ->
+         (* Cofactor constant address bits. *)
+         let free = ref [] in
+         let fixed_mask = ref 0 and fixed_val = ref 0 in
+         Array.iteri
+           (fun j f ->
+             match const_of f with
+             | Some b ->
+               fixed_mask := !fixed_mask lor (1 lsl j);
+               if b then fixed_val := !fixed_val lor (1 lsl j)
+             | None -> free := j :: !free)
+           fs;
+         if !fixed_mask <> 0 then begin
+           let free = List.rev !free in
+           let kf = List.length free in
+           let table =
+             Array.init (1 lsl kf) (fun row ->
+                 let idx = ref !fixed_val in
+                 List.iteri
+                   (fun bit j -> if row land (1 lsl bit) <> 0 then idx := !idx lor (1 lsl j))
+                   free;
+                 tt.(!idx))
+           in
+           match free with
+           | [] -> set_const id table.(0)
+           | [ j ] ->
+             (match table with
+              | [| false; true |] -> set_alias id fs.(j)
+              | [| true; false |] -> set_gate id Gate.Not [| fs.(j) |]
+              | [| v; _ |] when v = table.(1) -> set_const id v
+              | _ -> set_gate id (Gate.Lut table) [| fs.(j) |])
+           | js -> set_gate id (Gate.Lut table) (Array.of_list (List.map (fun j -> fs.(j)) js))
+         end
+         else if Array.for_all (fun v -> v = tt.(0)) tt then
+           (* Uniform tables collapse even without constant inputs. *)
+           set_const id tt.(0));
+      (not (Gate.equal kinds.(id) before_kind)) || fanins.(id) <> before_fanins
+    end
+  in
+  (* Structural hashing: nodes computing the same function of the same
+     (resolved) operands collapse to one representative.  Commutative gates
+     are keyed on sorted fanins. *)
+  let cse_pass () =
+    let table = Hashtbl.create 256 in
+    let changed = ref false in
+    for id = 0 to n - 1 do
+      if not cyclic.(id) then begin
+        let fs = Array.map resolve fanins.(id) in
+        let signature =
+          match kinds.(id) with
+          | Gate.Input | Gate.Key_input | Gate.Buf -> None
+          | Gate.Const b -> Some ("const", [ (if b then 1 else 0) ])
+          | (Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor) as k ->
+            let sorted = Array.copy fs in
+            Array.sort compare sorted;
+            Some (Gate.to_string k, Array.to_list sorted)
+          | Gate.Not -> Some ("not", Array.to_list fs)
+          | Gate.Mux -> Some ("mux", Array.to_list fs)
+          | Gate.Lut tt ->
+            let key =
+              "lut:" ^ String.init (Array.length tt) (fun i -> if tt.(i) then '1' else '0')
+            in
+            Some (key, Array.to_list fs)
+        in
+        match signature with
+        | None -> ()
+        | Some sig_ ->
+          (match Hashtbl.find_opt table sig_ with
+           | None -> Hashtbl.add table sig_ id
+           | Some rep when rep = id -> ()
+           | Some rep ->
+             set_alias id rep;
+             changed := true)
+      end
+    done;
+    !changed
+  in
+  (* Sweep to fixpoint (bounded by n sweeps; in practice a few). *)
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && !sweeps < n + 1 do
+    changed := false;
+    incr sweeps;
+    for id = 0 to n - 1 do
+      if simplify id then changed := true
+    done;
+    if cse_pass () then changed := true
+  done;
+  (* Rebuild: keep the interface (all inputs/keys, same output ports), emit
+     only nodes reachable from the outputs through resolved fanins. *)
+  let live = Array.make n false in
+  let rec mark id =
+    let id = resolve id in
+    if not live.(id) then begin
+      live.(id) <- true;
+      Array.iter mark fanins.(id)
+    end
+  in
+  Array.iter (fun (_, id) -> mark id) c.Circuit.outputs;
+  let b = Circuit.Builder.create ~name:c.Circuit.name () in
+  let map = Array.make n (-1) in
+  Array.iter
+    (fun id ->
+      map.(id) <- Circuit.Builder.input ~name:(Circuit.node c id).Circuit.name b)
+    c.Circuit.inputs;
+  Array.iter
+    (fun id ->
+      map.(id) <- Circuit.Builder.key_input ~name:(Circuit.node c id).Circuit.name b)
+    c.Circuit.keys;
+  for id = 0 to n - 1 do
+    if live.(id) && map.(id) < 0 && resolve id = id then
+      map.(id) <-
+        Circuit.Builder.declare ~name:(Circuit.node c id).Circuit.name b kinds.(id)
+  done;
+  let emitted = ref 0 in
+  for id = 0 to n - 1 do
+    if live.(id) && resolve id = id then begin
+      match kinds.(id) with
+      | Gate.Input | Gate.Key_input -> ()
+      | _ ->
+        incr emitted;
+        if Array.length fanins.(id) > 0 then
+          Circuit.Builder.set_fanins b map.(id)
+            (Array.map (fun f -> map.(resolve f)) fanins.(id))
+    end
+  done;
+  Array.iter
+    (fun (port, id) -> Circuit.Builder.output b port map.(resolve id))
+    c.Circuit.outputs;
+  let result = Circuit.of_builder b in
+  let removed = Circuit.num_gates c - Circuit.num_gates result in
+  ( result,
+    {
+      constants_folded = !consts;
+      buffers_collapsed = !buffers;
+      gates_simplified = !simplified;
+      dead_nodes_removed = max 0 removed;
+    } )
+
+let hardwire_keys c key =
+  if Array.length key <> Circuit.num_keys c then
+    invalid_arg "Opt.hardwire_keys: key length mismatch";
+  let b = Circuit.Builder.create ~name:(c.Circuit.name ^ "-activated") () in
+  let n = Circuit.num_nodes c in
+  let map = Array.make n (-1) in
+  (* Keys become constants; everything else is copied two-phase. *)
+  let key_index = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.add key_index id i) c.Circuit.keys;
+  for id = 0 to n - 1 do
+    let nd = Circuit.node c id in
+    map.(id) <-
+      (match Hashtbl.find_opt key_index id with
+       | Some i ->
+         Circuit.Builder.add ~name:nd.Circuit.name b (Gate.Const key.(i)) [||]
+       | None -> Circuit.Builder.declare ~name:nd.Circuit.name b nd.Circuit.kind)
+  done;
+  for id = 0 to n - 1 do
+    let nd = Circuit.node c id in
+    if (not (Hashtbl.mem key_index id)) && Array.length nd.Circuit.fanins > 0 then
+      Circuit.Builder.set_fanins b map.(id)
+        (Array.map (fun f -> map.(f)) nd.Circuit.fanins)
+  done;
+  Array.iter
+    (fun (port, id) -> Circuit.Builder.output b port map.(id))
+    c.Circuit.outputs;
+  Circuit.of_builder b
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d constants folded, %d buffers collapsed, %d gates simplified, %d dead gates removed"
+    s.constants_folded s.buffers_collapsed s.gates_simplified s.dead_nodes_removed

@@ -1,0 +1,31 @@
+(** Netlist clean-up transformations.
+
+    A small optimizer in the style of a synthesis "sweep" pass: constant
+    propagation, operand-level simplification (annihilators, identities,
+    duplicate fanins), buffer chasing, and dead-node elimination.  Locking
+    passes leave BUFs and redundant structure behind; [run] also powers
+    {!hardwire_keys}, which bakes a key into a locked netlist — composing it
+    with [run] recovers an activated, key-free design. *)
+
+type stats = {
+  constants_folded : int;
+  buffers_collapsed : int;
+  gates_simplified : int;
+  dead_nodes_removed : int;
+}
+
+(** [run c] returns a functionally equivalent circuit (same inputs, keys and
+    output ports) with simplifications applied to fixpoint, plus statistics.
+    Nodes on combinational cycles are kept untouched (their value may depend
+    on stabilisation order). *)
+val run : Circuit.t -> Circuit.t * stats
+
+(** [hardwire_keys c key] replaces every key input with the corresponding
+    constant; the result has no key inputs.  Combine with {!run} to fold
+    the lock away:
+
+    {[ let activated, _ = Opt.run (Opt.hardwire_keys locked key) ]}
+    @raise Invalid_argument on key-length mismatch. *)
+val hardwire_keys : Circuit.t -> bool array -> Circuit.t
+
+val pp_stats : Format.formatter -> stats -> unit

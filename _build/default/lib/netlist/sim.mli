@@ -1,0 +1,58 @@
+(** Functional simulation of circuits.
+
+    Acyclic circuits are evaluated in topological order.  Cyclic circuits
+    (produced by cyclic PLR insertion) are evaluated with three-valued
+    (0/1/X) fixpoint iteration: with a key that functionally opens every
+    cycle, all outputs resolve to 0/1. *)
+
+(** Three-valued logic value. *)
+type tristate = V0 | V1 | VX
+
+exception Unresolved of string
+(** Raised by {!eval} when a cyclic circuit leaves an output at X. *)
+
+(** [eval c ~inputs ~keys] is the output vector (in [c.outputs] order).
+    @raise Invalid_argument on input/key length mismatch.
+    @raise Unresolved when a combinational cycle does not settle. *)
+val eval : Circuit.t -> inputs:bool array -> keys:bool array -> bool array
+
+(** [eval_tristate c ~inputs ~keys] never raises on unsettled cycles; the
+    returned vector may contain [VX]. *)
+val eval_tristate :
+  Circuit.t -> inputs:bool array -> keys:bool array -> tristate array
+
+(** [eval_node_values c ~inputs ~keys] is the settled value of every node
+    (id-indexed), for attacks that observe internal wires. *)
+val eval_node_values :
+  Circuit.t -> inputs:bool array -> keys:bool array -> tristate array
+
+(** [settles c ~keys] is whether a random-probe of the circuit under [keys]
+    settles (no X output) on a handful of random input vectors — a cheap
+    check that a key functionally opens all cycles. *)
+val settles : ?probes:int -> ?seed:int -> Circuit.t -> keys:bool array -> bool
+
+(** {1 Vector helpers} *)
+
+(** [vector_of_int ~width v] is the LSB-first bit vector of [v]. *)
+val vector_of_int : width:int -> int -> bool array
+
+val int_of_vector : bool array -> int
+
+(** [random_vector rng width] draws a uniform bit vector. *)
+val random_vector : Random.State.t -> int -> bool array
+
+(** [equal_on_vectors a b ~keys_a ~keys_b ~vectors] checks output equality of
+    two circuits with the same PI count on the given input vectors. *)
+val equal_on_vectors :
+  Circuit.t ->
+  Circuit.t ->
+  keys_a:bool array ->
+  keys_b:bool array ->
+  vectors:bool array list ->
+  bool
+
+(** [equivalent_exhaustive a b ~keys_a ~keys_b] checks equality on all 2^n
+    input vectors (intended for small n).
+    @raise Invalid_argument when the PI counts differ or exceed 20. *)
+val equivalent_exhaustive :
+  Circuit.t -> Circuit.t -> keys_a:bool array -> keys_b:bool array -> bool

@@ -1,0 +1,25 @@
+(** Structural Verilog export and import (gate-level subset).
+
+    The writer emits one module built from Verilog gate primitives
+    ([and], [nand], [or], [nor], [xor], [xnor], [buf], [not]) plus
+    [assign] statements for MUXes (ternary), LUTs (sum of products) and
+    constants — synthesizable by any tool.  The reader accepts the same
+    subset: one module, scalar ports, primitive instantiations and
+    [assign]s with [~ & | ^ ?:] expressions.  Ports whose name starts with
+    [keyinput] are treated as key inputs, matching the [.bench]
+    convention. *)
+
+exception Parse_error of int * string
+(** [(line, message)] *)
+
+(** [to_string ?module_name c] renders the circuit. *)
+val to_string : ?module_name:string -> Circuit.t -> string
+
+val write_file : ?module_name:string -> Circuit.t -> string -> unit
+
+(** [parse_string text] parses a single module.  [assign] expressions are
+    decomposed into gate nodes.
+    @raise Parse_error on anything outside the subset. *)
+val parse_string : ?name:string -> string -> Circuit.t
+
+val parse_file : string -> Circuit.t

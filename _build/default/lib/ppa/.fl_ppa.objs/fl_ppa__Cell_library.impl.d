@@ -1,0 +1,1 @@
+lib/ppa/cell_library.ml: Array Fl_netlist Float

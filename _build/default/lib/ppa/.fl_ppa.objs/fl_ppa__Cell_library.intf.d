@@ -1,0 +1,1 @@
+lib/ppa/cell_library.mli: Fl_netlist

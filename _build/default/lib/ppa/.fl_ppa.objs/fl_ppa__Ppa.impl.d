@@ -1,0 +1,1 @@
+lib/ppa/ppa.ml: Array Cell_library Fl_cln Fl_netlist Float Format Stt_lut

@@ -1,0 +1,1 @@
+lib/ppa/ppa.mli: Cell_library Fl_cln Fl_netlist Format

@@ -1,0 +1,1 @@
+lib/ppa/stt_lut.ml: Cell_library Fl_netlist Float

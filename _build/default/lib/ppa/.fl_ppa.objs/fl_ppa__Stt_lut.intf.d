@@ -1,0 +1,1 @@
+lib/ppa/stt_lut.mli: Cell_library

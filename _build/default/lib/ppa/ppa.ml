@@ -1,0 +1,69 @@
+module Gate = Fl_netlist.Gate
+module Circuit = Fl_netlist.Circuit
+
+type estimate = { area_um2 : float; power_nw : float; delay_ns : float }
+
+let ceil_log2 n =
+  let rec go k m = if m >= n then k else go (k + 1) (m * 2) in
+  go 0 1
+
+(* Per-node cost after decomposition into 2-input slices. *)
+let node_cost library use_stt_luts kind fanin =
+  let slice = Cell_library.cell_of library kind ~fanin:2 in
+  match kind with
+  | Gate.Input | Gate.Key_input | Gate.Const _ -> Cell_library.zero
+  | Gate.Buf | Gate.Not -> slice
+  | Gate.Mux -> slice
+  | Gate.Lut tt ->
+    if use_stt_luts then
+      Stt_lut.estimate ~k:(max 1 (ceil_log2 (Array.length tt)))
+    else Cell_library.cell_of library kind ~fanin
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    let slices = float_of_int (max 1 (fanin - 1)) in
+    let depth = float_of_int (ceil_log2 (max 2 fanin)) in
+    {
+      Cell_library.area_um2 = slice.Cell_library.area_um2 *. slices;
+      power_nw = slice.Cell_library.power_nw *. slices;
+      delay_ns = slice.Cell_library.delay_ns *. depth;
+    }
+
+let of_circuit ?(library = Cell_library.generic_32nm) ?(use_stt_luts = true) c =
+  let n = Circuit.num_nodes c in
+  let costs =
+    Array.init n (fun id ->
+        let nd = Circuit.node c id in
+        node_cost library use_stt_luts nd.Circuit.kind (Array.length nd.Circuit.fanins))
+  in
+  let area = Array.fold_left (fun acc k -> acc +. k.Cell_library.area_um2) 0.0 costs in
+  let power = Array.fold_left (fun acc k -> acc +. k.Cell_library.power_nw) 0.0 costs in
+  (* Longest-path delay; gray-node detection skips cycle back edges. *)
+  let memo = Array.make n nan in
+  let color = Array.make n 0 in
+  let rec arrival id =
+    if color.(id) = 1 then 0.0 (* on the current DFS path: skip the back edge *)
+    else if not (Float.is_nan memo.(id)) then memo.(id)
+    else begin
+      color.(id) <- 1;
+      let nd = Circuit.node c id in
+      let best = Array.fold_left (fun acc f -> Float.max acc (arrival f)) 0.0 nd.Circuit.fanins in
+      color.(id) <- 2;
+      let v = best +. costs.(id).Cell_library.delay_ns in
+      memo.(id) <- v;
+      v
+    end
+  in
+  let delay =
+    Array.fold_left (fun acc (_, id) -> Float.max acc (arrival id)) 0.0 c.Circuit.outputs
+  in
+  { area_um2 = area; power_nw = power; delay_ns = delay }
+
+let of_cln ?library spec = of_circuit ?library (Fl_cln.Cln.standalone spec)
+
+let locking_overhead ?library ~original locked =
+  let a = of_circuit ?library original in
+  let b = of_circuit ?library locked in
+  (b.area_um2 /. a.area_um2, b.power_nw /. a.power_nw, b.delay_ns /. a.delay_ns)
+
+let pp fmt e =
+  Format.fprintf fmt "area %.1f um2, power %.1f nW, delay %.2f ns" e.area_um2
+    e.power_nw e.delay_ns

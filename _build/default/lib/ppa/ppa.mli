@@ -1,0 +1,28 @@
+(** Area/power/delay estimation of netlists, CLNs and locking overheads. *)
+
+type estimate = {
+  area_um2 : float;
+  power_nw : float;
+  delay_ns : float;  (** critical path; for cyclic netlists the longest
+                         acyclic path (back edges skipped) *)
+}
+
+(** [of_circuit ?library ?use_stt_luts c] sums decomposed cell costs.  N-ary
+    gates decompose into trees of 2-input cells; constant-table LUT gates are
+    costed as STT-LUTs when [use_stt_luts] (default true), as MUX trees
+    otherwise. *)
+val of_circuit :
+  ?library:Cell_library.t -> ?use_stt_luts:bool -> Fl_netlist.Circuit.t -> estimate
+
+(** [of_cln spec] — the standalone CLN netlist (Table 3 rows). *)
+val of_cln : ?library:Cell_library.t -> Fl_cln.Cln.spec -> estimate
+
+(** [locking_overhead ~original locked] — (area ratio, power ratio, delay
+    ratio) of the locked over the original netlist. *)
+val locking_overhead :
+  ?library:Cell_library.t ->
+  original:Fl_netlist.Circuit.t ->
+  Fl_netlist.Circuit.t ->
+  float * float * float
+
+val pp : Format.formatter -> estimate -> unit

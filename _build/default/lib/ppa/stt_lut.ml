@@ -1,0 +1,36 @@
+(* The MTJ crossbar scales with 2^k storage cells, but the CMOS periphery
+   (sense amplifier, word-line decoder) dominates for small k — which is why
+   the paper reports negligible overhead up to k = 5. *)
+let estimate ~k =
+  if k < 1 || k > 8 then invalid_arg "Stt_lut.estimate: k out of range";
+  let cells = float_of_int (1 lsl k) in
+  {
+    Cell_library.area_um2 = 0.035 +. (0.0022 *. cells);
+    power_nw = 1.6 +. (0.09 *. cells);  (* near-zero leakage: low slope *)
+    delay_ns = 0.095 +. (0.006 *. float_of_int k);  (* GHz-class read *)
+  }
+
+let cmos_equivalent ?(library = Cell_library.generic_32nm) k =
+  if k < 1 then invalid_arg "Stt_lut.cmos_equivalent: k out of range";
+  (* A k-input basic gate decomposes into (k-1) 2-input cells in a tree of
+     depth ceil(log2 k); average over the AND/OR/XOR mix. *)
+  let slices = float_of_int (max 1 (k - 1)) in
+  let depth = float_of_int (int_of_float (Float.ceil (Float.log2 (float_of_int (max 2 k))))) in
+  let avg f =
+    (f (Cell_library.cell_of library Fl_netlist.Gate.And ~fanin:2)
+     +. f (Cell_library.cell_of library Fl_netlist.Gate.Or ~fanin:2)
+     +. f (Cell_library.cell_of library Fl_netlist.Gate.Xor ~fanin:2))
+    /. 3.0
+  in
+  {
+    Cell_library.area_um2 = avg (fun c -> c.Cell_library.area_um2) *. slices;
+    power_nw = avg (fun c -> c.Cell_library.power_nw) *. slices;
+    delay_ns = avg (fun c -> c.Cell_library.delay_ns) *. depth;
+  }
+
+let overhead ?library k =
+  let lut = estimate ~k in
+  let cmos = cmos_equivalent ?library k in
+  ( lut.Cell_library.area_um2 /. cmos.Cell_library.area_um2,
+    lut.Cell_library.power_nw /. cmos.Cell_library.power_nw,
+    lut.Cell_library.delay_ns /. cmos.Cell_library.delay_ns )

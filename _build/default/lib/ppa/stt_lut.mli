@@ -1,0 +1,19 @@
+(** Spin-Transfer-Torque LUT model (Fig. 5 of the paper).
+
+    Full-Lock's LUT layer uses STT-MTJ based look-up tables: GHz-class
+    speed, near-zero leakage, CMOS-compatible.  The paper's Fig. 5 shows
+    that up to 5 inputs their power/delay/area overhead versus standard
+    CMOS cells is negligible and grows sharply afterwards; this analytic
+    model reproduces that shape. *)
+
+(** [estimate ~k] — one STT-LUT with [k] inputs. *)
+val estimate : k:int -> Cell_library.cell
+
+(** [cmos_equivalent k] — the average CMOS standard-cell cost of a [k]-input
+    basic gate (decomposed into 2-input cells), the baseline Fig. 5 compares
+    against. *)
+val cmos_equivalent : ?library:Cell_library.t -> int -> Cell_library.cell
+
+(** [overhead k] — (area ratio, power ratio, delay ratio) of STT-LUT vs the
+    CMOS equivalent; close to 1.0 for k <= 5. *)
+val overhead : ?library:Cell_library.t -> int -> float * float * float

@@ -1,0 +1,1 @@
+lib/sat/atpg.ml: Array Cdcl Fl_cnf Fl_netlist Format List

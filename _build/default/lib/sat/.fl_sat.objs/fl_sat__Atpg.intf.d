@@ -1,0 +1,1 @@
+lib/sat/atpg.mli: Cdcl Fl_netlist Format

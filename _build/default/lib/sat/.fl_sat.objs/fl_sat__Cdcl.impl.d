@@ -1,0 +1,1 @@
+lib/sat/cdcl.ml: Array Bytes Char Fl_cnf Format Int List Set Unix

@@ -1,0 +1,1 @@
+lib/sat/dpll.mli: Fl_cnf Format

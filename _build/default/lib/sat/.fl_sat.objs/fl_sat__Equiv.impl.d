@@ -1,0 +1,1 @@
+lib/sat/equiv.ml: Array Cdcl Fl_cnf Fl_netlist Format

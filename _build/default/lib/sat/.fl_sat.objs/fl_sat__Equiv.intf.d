@@ -1,0 +1,1 @@
+lib/sat/equiv.mli: Cdcl Fl_netlist Format

@@ -1,0 +1,1 @@
+lib/sat/random_sat.ml: Array Dpll Fl_cnf List Random

@@ -1,0 +1,1 @@
+lib/sat/random_sat.mli: Fl_cnf Random

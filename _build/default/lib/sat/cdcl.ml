@@ -1,0 +1,720 @@
+(* MiniSAT-style CDCL.  Literal encoding: external DIMACS literal [l] maps to
+   internal literal [2*(|l|-1) + (l<0)]; [neg l = l lxor 1].  Values are
+   per-variable: 0 undefined, 1 true, 2 false. *)
+
+type outcome = Sat | Unsat | Unknown
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned_clauses : int;
+  learned_literals : int;
+  max_decision_level : int;
+}
+
+type budget = { max_conflicts : int; deadline : float }
+
+let no_budget = { max_conflicts = -1; deadline = -1.0 }
+let budget_conflicts n = { no_budget with max_conflicts = n }
+let budget_seconds s = { no_budget with deadline = Unix.gettimeofday () +. s }
+
+(* Growable int vector. *)
+module Vec = struct
+  type t = { mutable data : int array; mutable size : int }
+
+  let create () = { data = Array.make 8 0; size = 0 }
+
+  let push v x =
+    if v.size = Array.length v.data then begin
+      let data' = Array.make (v.size * 2) 0 in
+      Array.blit v.data 0 data' 0 v.size;
+      v.data <- data'
+    end;
+    v.data.(v.size) <- x;
+    v.size <- v.size + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let size v = v.size
+  let shrink v n = v.size <- n
+end
+
+(* Indexed max-heap over variables ordered by activity. *)
+module Heap = struct
+  type t = {
+    mutable heap : int array;  (* heap position -> var *)
+    mutable index : int array;  (* var -> heap position, -1 if absent *)
+    mutable size : int;
+    act : float array ref;  (* indirection: activity array is re-allocated on growth *)
+  }
+
+  let create act = { heap = Array.make 8 0; index = Array.make 8 (-1); size = 0; act }
+
+  let grow h n =
+    if n > Array.length h.index then begin
+      let cap = max n (2 * Array.length h.index) in
+      let index' = Array.make cap (-1) in
+      Array.blit h.index 0 index' 0 (Array.length h.index);
+      h.index <- index';
+      let heap' = Array.make cap 0 in
+      Array.blit h.heap 0 heap' 0 h.size;
+      h.heap <- heap'
+    end
+
+  let lt h a b = !(h.act).(a) > !(h.act).(b)  (* max-heap on activity *)
+
+  let swap h i j =
+    let vi = h.heap.(i) and vj = h.heap.(j) in
+    h.heap.(i) <- vj;
+    h.heap.(j) <- vi;
+    h.index.(vi) <- j;
+    h.index.(vj) <- i
+
+  let rec up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if lt h h.heap.(i) h.heap.(parent) then begin
+        swap h i parent;
+        up h parent
+      end
+    end
+
+  let rec down h i =
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    let best = ref i in
+    if left < h.size && lt h h.heap.(left) h.heap.(!best) then best := left;
+    if right < h.size && lt h h.heap.(right) h.heap.(!best) then best := right;
+    if !best <> i then begin
+      swap h i !best;
+      down h !best
+    end
+
+  let mem h v = v < Array.length h.index && h.index.(v) >= 0
+
+  let insert h v =
+    grow h (v + 1);
+    if not (mem h v) then begin
+      h.heap.(h.size) <- v;
+      h.index.(v) <- h.size;
+      h.size <- h.size + 1;
+      up h h.index.(v)
+    end
+
+  let decrease h v = if mem h v then up h h.index.(v)  (* activity increased *)
+
+  let pop h =
+    let v = h.heap.(0) in
+    h.index.(v) <- -1;
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.heap.(0) <- h.heap.(h.size);
+      h.index.(h.heap.(0)) <- 0;
+      down h 0
+    end;
+    v
+
+  let is_empty h = h.size = 0
+end
+
+type t = {
+  mutable nvars : int;
+  mutable ok : bool;  (* false once a top-level contradiction is derived *)
+  mutable clauses : int array array;  (* arena: problem + learnt clauses *)
+  mutable num_clauses : int;
+  mutable clause_learnt : Bytes.t;  (* per arena slot: 1 = learnt *)
+  mutable clause_act : float array;  (* learnt-clause activities *)
+  mutable cla_inc : float;
+  mutable learnt_count : int;
+  mutable reductions : int;
+  mutable assigns : Bytes.t;  (* var -> 0 undef / 1 true / 2 false *)
+  mutable level : int array;
+  mutable reason : int array;  (* var -> clause index or -1 *)
+  mutable watches : Vec.t array;  (* lit -> clause indices watching lit *)
+  mutable activity : float array ref;
+  mutable polarity : Bytes.t;  (* saved phase: 0 -> pick false first *)
+  mutable seen : Bytes.t;  (* scratch for conflict analysis *)
+  heap : Heap.t;
+  trail : Vec.t;
+  trail_lim : Vec.t;
+  mutable qhead : int;
+  mutable var_inc : float;
+  (* statistics *)
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  mutable n_restarts : int;
+  mutable n_learned : int;
+  mutable n_learned_lits : int;
+  mutable max_dl : int;
+  mutable last_model : Bytes.t option;
+}
+
+let create () =
+  let activity = ref (Array.make 8 0.0) in
+  {
+    nvars = 0;
+    ok = true;
+    clauses = Array.make 64 [||];
+    num_clauses = 0;
+    clause_learnt = Bytes.make 64 '\000';
+    clause_act = Array.make 64 0.0;
+    cla_inc = 1.0;
+    learnt_count = 0;
+    reductions = 0;
+    assigns = Bytes.make 8 '\000';
+    level = Array.make 8 0;
+    reason = Array.make 8 (-1);
+    watches = Array.init 16 (fun _ -> Vec.create ());
+    activity;
+    polarity = Bytes.make 8 '\000';
+    seen = Bytes.make 8 '\000';
+    heap = Heap.create activity;
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    var_inc = 1.0;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_conflicts = 0;
+    n_restarts = 0;
+    n_learned = 0;
+    n_learned_lits = 0;
+    max_dl = 0;
+    last_model = None;
+  }
+
+let num_vars s = s.nvars
+
+let ensure_vars s n =
+  if n > s.nvars then begin
+    let old_cap = Bytes.length s.assigns in
+    if n > old_cap then begin
+      let cap = max n (2 * old_cap) in
+      let assigns' = Bytes.make cap '\000' in
+      Bytes.blit s.assigns 0 assigns' 0 old_cap;
+      s.assigns <- assigns';
+      let polarity' = Bytes.make cap '\000' in
+      Bytes.blit s.polarity 0 polarity' 0 old_cap;
+      s.polarity <- polarity';
+      let seen' = Bytes.make cap '\000' in
+      Bytes.blit s.seen 0 seen' 0 old_cap;
+      s.seen <- seen';
+      let level' = Array.make cap 0 in
+      Array.blit s.level 0 level' 0 old_cap;
+      s.level <- level';
+      let reason' = Array.make cap (-1) in
+      Array.blit s.reason 0 reason' 0 old_cap;
+      s.reason <- reason';
+      let act' = Array.make cap 0.0 in
+      Array.blit !(s.activity) 0 act' 0 old_cap;
+      s.activity := act';
+      let watches' = Array.init (2 * cap) (fun _ -> Vec.create ()) in
+      Array.blit s.watches 0 watches' 0 (Array.length s.watches);
+      s.watches <- watches'
+    end;
+    for v = s.nvars to n - 1 do
+      Heap.insert s.heap v
+    done;
+    s.nvars <- n
+  end
+
+(* --- value manipulation --- *)
+
+let var_of l = l lsr 1
+let lneg l = l lxor 1
+let lit_of_dimacs l = (2 * (abs l - 1)) lor (if l < 0 then 1 else 0)
+let value_var s v = Char.code (Bytes.unsafe_get s.assigns v)
+
+let value_lit s l =
+  let v = value_var s (var_of l) in
+  if v = 0 then 0 else if l land 1 = 0 then v else 3 - v
+(* 1 = true, 2 = false, 0 = undef *)
+
+let decision_level s = Vec.size s.trail_lim
+
+let enqueue s l reason =
+  let v = var_of l in
+  Bytes.unsafe_set s.assigns v (if l land 1 = 0 then '\001' else '\002');
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l
+
+let var_bump s v =
+  let act = !(s.activity) in
+  act.(v) <- act.(v) +. s.var_inc;
+  if act.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      act.(i) <- act.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  Heap.decrease s.heap v
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+let cla_bump s ci =
+  if Bytes.get s.clause_learnt ci = '\001' then begin
+    s.clause_act.(ci) <- s.clause_act.(ci) +. s.cla_inc;
+    if s.clause_act.(ci) > 1e20 then begin
+      for i = 0 to s.num_clauses - 1 do
+        s.clause_act.(i) <- s.clause_act.(i) *. 1e-20
+      done;
+      s.cla_inc <- s.cla_inc *. 1e-20
+    end
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
+
+let cancel_until s target =
+  if decision_level s > target then begin
+    let bound = Vec.get s.trail_lim target in
+    let i = ref (Vec.size s.trail - 1) in
+    while !i >= bound do
+      let l = Vec.get s.trail !i in
+      let v = var_of l in
+      Bytes.unsafe_set s.polarity v (if l land 1 = 0 then '\001' else '\000');
+      Bytes.unsafe_set s.assigns v '\000';
+      s.reason.(v) <- -1;
+      Heap.insert s.heap v;
+      decr i
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim target;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* --- clause management --- *)
+
+let push_clause ?(learnt = false) s clause =
+  if s.num_clauses = Array.length s.clauses then begin
+    let cap = s.num_clauses * 2 in
+    let clauses' = Array.make cap [||] in
+    Array.blit s.clauses 0 clauses' 0 s.num_clauses;
+    s.clauses <- clauses';
+    let flags' = Bytes.make cap '\000' in
+    Bytes.blit s.clause_learnt 0 flags' 0 s.num_clauses;
+    s.clause_learnt <- flags';
+    let act' = Array.make cap 0.0 in
+    Array.blit s.clause_act 0 act' 0 s.num_clauses;
+    s.clause_act <- act'
+  end;
+  let idx = s.num_clauses in
+  s.clauses.(idx) <- clause;
+  Bytes.set s.clause_learnt idx (if learnt then '\001' else '\000');
+  s.clause_act.(idx) <- 0.0;
+  if learnt then s.learnt_count <- s.learnt_count + 1;
+  s.num_clauses <- idx + 1;
+  Vec.push s.watches.(clause.(0)) idx;
+  Vec.push s.watches.(clause.(1)) idx;
+  idx
+
+(* Add a problem clause; assumes trail is at level 0. *)
+let add_internal s lits =
+  if s.ok then begin
+    (* Simplify against permanent (level-0) assignments and deduplicate. *)
+    let module S = Set.Make (Int) in
+    let sat = ref false in
+    let keep = ref S.empty in
+    List.iter
+      (fun l ->
+        match value_lit s l with
+        | 1 -> sat := true
+        | 2 -> ()
+        | _ ->
+          if S.mem (lneg l) !keep then sat := true
+          else keep := S.add l !keep)
+      lits;
+    if not !sat then begin
+      match S.elements !keep with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        (* Unit at level 0: enqueue permanently (propagated on next solve). *)
+        (match value_lit s l with
+         | 1 -> ()
+         | 2 -> s.ok <- false
+         | _ -> enqueue s l (-1))
+      | l0 :: l1 :: rest -> ignore (push_clause s (Array.of_list (l0 :: l1 :: rest)))
+    end
+  end
+
+let add_clause s lits =
+  List.iter (fun l -> ensure_vars s (abs l)) lits;
+  cancel_until s 0;
+  add_internal s (List.map lit_of_dimacs lits)
+
+let add_clause_a s lits = add_clause s (Array.to_list lits)
+
+let of_formula f =
+  let s = create () in
+  ensure_vars s (Fl_cnf.Formula.num_vars f);
+  Fl_cnf.Formula.iter_clauses f (fun clause ->
+      cancel_until s 0;
+      add_internal s (List.map lit_of_dimacs (Array.to_list clause)));
+  s
+
+(* --- propagation --- *)
+
+(* Returns conflicting clause index or -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict < 0 && s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    let false_lit = lneg p in
+    let ws = s.watches.(false_lit) in
+    let n = Vec.size ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = Vec.get ws !i in
+      incr i;
+      let clause = s.clauses.(ci) in
+      (* Ensure the false literal is in slot 1. *)
+      if clause.(0) = false_lit then begin
+        clause.(0) <- clause.(1);
+        clause.(1) <- false_lit
+      end;
+      if value_lit s clause.(0) = 1 then begin
+        (* Clause already satisfied: keep the watch. *)
+        Vec.set ws !j ci;
+        incr j
+      end
+      else begin
+        (* Look for a new literal to watch. *)
+        let len = Array.length clause in
+        let found = ref false in
+        let k = ref 2 in
+        while (not !found) && !k < len do
+          if value_lit s clause.(!k) <> 2 then begin
+            clause.(1) <- clause.(!k);
+            clause.(!k) <- false_lit;
+            Vec.push s.watches.(clause.(1)) ci;
+            found := true
+          end;
+          incr k
+        done;
+        if not !found then begin
+          (* Unit or conflicting. *)
+          Vec.set ws !j ci;
+          incr j;
+          if value_lit s clause.(0) = 2 then begin
+            conflict := ci;
+            s.qhead <- Vec.size s.trail;
+            (* Copy back the rest of the watch list. *)
+            while !i < n do
+              Vec.set ws !j (Vec.get ws !i);
+              incr j;
+              incr i
+            done
+          end
+          else enqueue s clause.(0) ci
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+(* --- conflict analysis (first UIP) --- *)
+
+let analyze s confl =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref confl in
+  let index = ref (Vec.size s.trail - 1) in
+  let marked = ref [] in
+  (* every var whose seen flag was raised *)
+  let continue = ref true in
+  while !continue do
+    cla_bump s !confl;
+    let clause = s.clauses.(!confl) in
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length clause - 1 do
+      let q = clause.(k) in
+      let v = var_of q in
+      if Bytes.get s.seen v = '\000' && s.level.(v) > 0 then begin
+        Bytes.set s.seen v '\001';
+        marked := v :: !marked;
+        var_bump s v;
+        if s.level.(v) >= decision_level s then incr counter
+        else learnt := q :: !learnt
+      end
+    done;
+    (* Walk the trail backwards to the next marked literal. *)
+    while Bytes.get s.seen (var_of (Vec.get s.trail !index)) = '\000' do
+      decr index
+    done;
+    p := Vec.get s.trail !index;
+    decr index;
+    decr counter;
+    if !counter = 0 then continue := false
+    else confl := s.reason.(var_of !p)
+  done;
+  (* The UIP must not count as marked during minimization. *)
+  Bytes.set s.seen (var_of !p) '\000';
+  (* Local conflict-clause minimization: a tail literal is redundant when its
+     reason clause contains only marked or level-0 literals — self-resolution
+     removes it without changing the clause's meaning. *)
+  let redundant q =
+    let v = var_of q in
+    let r = s.reason.(v) in
+    r >= 0
+    && Array.for_all
+         (fun l ->
+           let lv = var_of l in
+           lv = v || s.level.(lv) = 0 || Bytes.get s.seen lv = '\001')
+         s.clauses.(r)
+  in
+  let tail = List.filter (fun q -> not (redundant q)) !learnt in
+  (* Clear every raised flag (including dropped literals'). *)
+  List.iter (fun v -> Bytes.set s.seen v '\000') !marked;
+  let learnt_arr = Array.of_list (lneg !p :: tail) in
+  (* Backjump level = highest level among the (minimized) tail. *)
+  let btlevel = ref 0 in
+  for k = 1 to Array.length learnt_arr - 1 do
+    if s.level.(var_of learnt_arr.(k)) > !btlevel then
+      btlevel := s.level.(var_of learnt_arr.(k))
+  done;
+  (* Watch invariant: slot 1 must hold the highest-level tail literal so that
+     after backjumping the watched literal is never a stale false literal
+     from a lower level (that would silence future unit propagations). *)
+  if Array.length learnt_arr > 2 then begin
+    let best = ref 1 in
+    for k = 2 to Array.length learnt_arr - 1 do
+      if s.level.(var_of learnt_arr.(k)) > s.level.(var_of learnt_arr.(!best))
+      then best := k
+    done;
+    let tmp = learnt_arr.(1) in
+    learnt_arr.(1) <- learnt_arr.(!best);
+    learnt_arr.(!best) <- tmp
+  end;
+  learnt_arr, !btlevel
+
+(* --- search --- *)
+
+(* Luby restart sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby_std i =
+  let rec pow2m1 k v = if v >= i then k, v else pow2m1 (k + 1) ((2 * v) + 1) in
+  let k, v = pow2m1 1 1 in
+  if v = i then 1 lsl (k - 1) else luby_std (i - ((v - 1) / 2))
+
+let out_of_budget budget s start_check =
+  (budget.max_conflicts >= 0 && s.n_conflicts - start_check >= budget.max_conflicts)
+  || (budget.deadline >= 0.0
+      && s.n_conflicts land 255 = 0
+      && Unix.gettimeofday () > budget.deadline)
+
+(* Drop the less active half of the learnt clauses.  Called only at decision
+   level 0: level-0 reasons are never dereferenced by [analyze] (it skips
+   level-0 variables), so clearing them is safe, and watches are rebuilt on
+   literals that are not permanently false so no future propagation is
+   silenced. *)
+let reduce_db s =
+  assert (decision_level s = 0);
+  (* Median learnt activity as the deletion threshold; keep binary clauses. *)
+  let acts = ref [] in
+  for ci = 0 to s.num_clauses - 1 do
+    if Bytes.get s.clause_learnt ci = '\001' && Array.length s.clauses.(ci) > 2
+    then acts := s.clause_act.(ci) :: !acts
+  done;
+  let sorted = List.sort compare !acts in
+  let threshold =
+    match List.nth_opt sorted (List.length sorted / 2) with
+    | Some v -> v
+    | None -> infinity
+  in
+  let keep ci =
+    Bytes.get s.clause_learnt ci = '\000'
+    || Array.length s.clauses.(ci) <= 2
+    || s.clause_act.(ci) > threshold
+  in
+  let write = ref 0 in
+  for ci = 0 to s.num_clauses - 1 do
+    if keep ci then begin
+      s.clauses.(!write) <- s.clauses.(ci);
+      Bytes.set s.clause_learnt !write (Bytes.get s.clause_learnt ci);
+      s.clause_act.(!write) <- s.clause_act.(ci);
+      incr write
+    end
+    else s.learnt_count <- s.learnt_count - 1
+  done;
+  s.num_clauses <- !write;
+  (* Level-0 reasons may now dangle; they are never read again. *)
+  for i = 0 to Vec.size s.trail - 1 do
+    s.reason.(var_of (Vec.get s.trail i)) <- -1
+  done;
+  (* Rebuild watches, preferring literals that are not permanently false so
+     satisfied-then-unwound clauses keep live watches. *)
+  for l = 0 to (2 * s.nvars) - 1 do
+    Vec.shrink s.watches.(l) 0
+  done;
+  for ci = 0 to s.num_clauses - 1 do
+    let clause = s.clauses.(ci) in
+    let len = Array.length clause in
+    let slot = ref 0 in
+    (let k = ref 0 in
+     while !slot < 2 && !k < len do
+       if value_lit s clause.(!k) <> 2 then begin
+         let tmp = clause.(!slot) in
+         clause.(!slot) <- clause.(!k);
+         clause.(!k) <- tmp;
+         incr slot
+       end;
+       incr k
+     done);
+    Vec.push s.watches.(clause.(0)) ci;
+    Vec.push s.watches.(clause.(1)) ci
+  done;
+  s.reductions <- s.reductions + 1
+
+exception Found of outcome
+
+let search s assumptions budget conflict_budget start_conflicts =
+  let conflicts_this_run = ref 0 in
+  try
+    while true do
+      let confl = propagate s in
+      if confl >= 0 then begin
+        s.n_conflicts <- s.n_conflicts + 1;
+        incr conflicts_this_run;
+        if decision_level s = 0 then begin
+          s.ok <- false;
+          raise (Found Unsat)
+        end;
+        let learnt, btlevel = analyze s confl in
+        cancel_until s (max btlevel 0) ;
+        (match learnt with
+         | [| unit_lit |] ->
+           cancel_until s 0;
+           (match value_lit s unit_lit with
+            | 2 ->
+              s.ok <- false;
+              raise (Found Unsat)
+            | 1 -> ()
+            | _ -> enqueue s unit_lit (-1))
+         | _ ->
+           let ci = push_clause ~learnt:true s learnt in
+           enqueue s learnt.(0) ci);
+        s.n_learned <- s.n_learned + 1;
+        s.n_learned_lits <- s.n_learned_lits + Array.length learnt;
+        var_decay s;
+        cla_decay s;
+        if out_of_budget budget s start_conflicts then raise (Found Unknown)
+      end
+      else begin
+        (* No conflict: restart, or decide. *)
+        if !conflicts_this_run >= conflict_budget then begin
+          cancel_until s 0;
+          s.n_restarts <- s.n_restarts + 1;
+          if s.learnt_count > 2000 + (500 * s.reductions) then reduce_db s;
+          raise Exit
+        end;
+        let dl = decision_level s in
+        if dl < List.length assumptions then begin
+          let a = List.nth assumptions dl in
+          match value_lit s a with
+          | 1 ->
+            Vec.push s.trail_lim (Vec.size s.trail)
+            (* dummy level: keeps assumption index = level *)
+          | 2 -> raise (Found Unsat)
+          | _ ->
+            Vec.push s.trail_lim (Vec.size s.trail);
+            s.n_decisions <- s.n_decisions + 1;
+            enqueue s a (-1)
+        end
+        else begin
+          (* Pick an unassigned variable by activity. *)
+          let rec pick () =
+            if Heap.is_empty s.heap then -1
+            else begin
+              let v = Heap.pop s.heap in
+              if value_var s v = 0 then v else pick ()
+            end
+          in
+          let v = pick () in
+          if v < 0 then raise (Found Sat)
+          else begin
+            let phase_true = Bytes.get s.polarity v = '\001' in
+            let l = (2 * v) lor (if phase_true then 0 else 1) in
+            Vec.push s.trail_lim (Vec.size s.trail);
+            if decision_level s > s.max_dl then s.max_dl <- decision_level s;
+            s.n_decisions <- s.n_decisions + 1;
+            enqueue s l (-1)
+          end
+        end
+      end
+    done;
+    assert false
+  with
+  | Found r -> Some r
+  | Exit -> None
+
+let solve ?(assumptions = []) ?(budget = no_budget) s =
+  List.iter (fun l -> ensure_vars s (abs l)) assumptions;
+  let assumptions = List.map lit_of_dimacs assumptions in
+  cancel_until s 0;
+  if not s.ok then Unsat
+  else begin
+    let start_conflicts = s.n_conflicts in
+    let rec run i =
+      if out_of_budget budget s start_conflicts then Unknown
+      else begin
+        let conflict_budget = 64 * luby_std i in
+        match search s assumptions budget conflict_budget start_conflicts with
+        | Some r -> r
+        | None -> run (i + 1)
+      end
+    in
+    let result = run 1 in
+    (match result with
+     | Sat ->
+       let m = Bytes.create s.nvars in
+       for v = 0 to s.nvars - 1 do
+         Bytes.set m v (if value_var s v = 1 then '\001' else '\000')
+       done;
+       s.last_model <- Some m
+     | Unsat | Unknown -> s.last_model <- None);
+    cancel_until s 0;
+    result
+  end
+
+let value s v =
+  match s.last_model with
+  | None -> invalid_arg "Cdcl.value: no model (last solve was not Sat)"
+  | Some m ->
+    if v < 1 || v > Bytes.length m then invalid_arg "Cdcl.value: unknown variable";
+    Bytes.get m (v - 1) = '\001'
+
+let model s =
+  match s.last_model with
+  | None -> invalid_arg "Cdcl.model: no model (last solve was not Sat)"
+  | Some m -> Array.init (Bytes.length m + 1) (fun i -> i > 0 && Bytes.get m (i - 1) = '\001')
+
+let stats s =
+  {
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    conflicts = s.n_conflicts;
+    restarts = s.n_restarts;
+    learned_clauses = s.n_learned;
+    learned_literals = s.n_learned_lits;
+    max_decision_level = s.max_dl;
+  }
+
+let pp_stats fmt st =
+  Format.fprintf fmt
+    "decisions %d, propagations %d, conflicts %d, restarts %d, learned %d (avg len %.1f), max level %d"
+    st.decisions st.propagations st.conflicts st.restarts st.learned_clauses
+    (if st.learned_clauses = 0 then 0.0
+     else float_of_int st.learned_literals /. float_of_int st.learned_clauses)
+    st.max_decision_level
+
+let solve_formula ?budget f =
+  let s = of_formula f in
+  let outcome = solve ?budget s in
+  let m = match outcome with Sat -> Some (model s) | Unsat | Unknown -> None in
+  outcome, m, stats s

@@ -1,0 +1,70 @@
+(** Conflict-driven clause-learning SAT solver.
+
+    A from-scratch MiniSAT-style solver: two-watched-literal propagation,
+    first-UIP conflict analysis, VSIDS decision heuristic with a binary heap,
+    phase saving, Luby restarts, incremental clause addition and solving
+    under assumptions.  Detailed search statistics are exposed because the
+    paper's argument is about the *shape* of the search (recursive calls /
+    decisions per attack iteration), not just sat/unsat answers. *)
+
+type t
+
+type outcome =
+  | Sat
+  | Unsat
+  | Unknown  (** budget exhausted *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned_clauses : int;
+  learned_literals : int;
+  max_decision_level : int;
+}
+
+(** Resource budget for one {!solve} call.  [max_conflicts < 0] and
+    [deadline < 0.] mean unlimited. *)
+type budget = { max_conflicts : int; deadline : float  (** Unix time *) }
+
+val no_budget : budget
+val budget_conflicts : int -> budget
+val budget_seconds : float -> budget
+
+val create : unit -> t
+
+(** [of_formula f] loads every clause of [f] into a fresh solver. *)
+val of_formula : Fl_cnf.Formula.t -> t
+
+(** [ensure_vars s n] makes variables [1..n] known to the solver. *)
+val ensure_vars : t -> int -> unit
+
+(** [add_clause s lits] adds a clause (DIMACS literals).  May be called
+    between [solve] calls; the solver backtracks to level 0 first.  Adding
+    an empty clause makes the instance permanently unsat. *)
+val add_clause : t -> int list -> unit
+
+val add_clause_a : t -> int array -> unit
+
+(** [solve ?assumptions ?budget s] runs the CDCL loop.  With assumptions the
+    answer is relative to them (Unsat means: unsat under these assumptions).
+    Statistics accumulate across calls. *)
+val solve : ?assumptions:int list -> ?budget:budget -> t -> outcome
+
+(** [value s v] is the model value of variable [v] after [Sat].
+    @raise Invalid_argument if the last call did not return Sat or [v] is
+    unknown. *)
+val value : t -> int -> bool
+
+(** [model s] is the full model as (variable -> value), index 0 unused. *)
+val model : t -> bool array
+
+val num_vars : t -> int
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [solve_formula ?budget f] is a convenience one-shot solve; returns the
+    outcome, the model when Sat, and the stats. *)
+val solve_formula :
+  ?budget:budget -> Fl_cnf.Formula.t -> outcome * bool array option * stats

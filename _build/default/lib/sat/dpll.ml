@@ -1,0 +1,259 @@
+type outcome = Sat | Unsat | Aborted
+
+type stats = {
+  recursive_calls : int;
+  unit_propagations : int;
+  pure_literals : int;
+  max_depth : int;
+  backtracks : int;
+}
+
+exception Abort
+
+(* Literal index: positive literal of var v (1-based) is [2*(v-1)], negative
+   is [2*(v-1)+1]. *)
+let lit_index l = (2 * (abs l - 1)) lor (if l < 0 then 1 else 0)
+
+type state = {
+  num_vars : int;
+  clauses : int array array;  (* DIMACS literals *)
+  occurs : int array array;  (* lit index -> clause ids *)
+  sat_stamp : int array;  (* clause -> trail stamp that satisfied it, or -1 *)
+  free_count : int array;  (* unassigned literals per unsatisfied clause *)
+  assign : int array;  (* var (1-based) -> 0 undef / 1 true / 2 false *)
+  lit_active : int array;  (* lit index -> # unsatisfied clauses with lit *)
+  mutable unsat_clauses : int;
+  trail : int array;  (* assigned DIMACS literals, stamp = position *)
+  mutable trail_size : int;
+  (* counters *)
+  mutable calls : int;
+  mutable units : int;
+  mutable pures : int;
+  mutable depth_max : int;
+  mutable backtracks : int;
+  max_calls : int;
+}
+
+let build f max_calls =
+  let num_vars = Fl_cnf.Formula.num_vars f in
+  let clauses = Fl_cnf.Formula.clauses f in
+  let nlits = 2 * num_vars in
+  let occ_count = Array.make nlits 0 in
+  Array.iter (fun c -> Array.iter (fun l -> occ_count.(lit_index l) <- occ_count.(lit_index l) + 1) c) clauses;
+  let occurs = Array.init nlits (fun i -> Array.make occ_count.(i) 0) in
+  let fill = Array.make nlits 0 in
+  Array.iteri
+    (fun ci c ->
+      Array.iter
+        (fun l ->
+          let li = lit_index l in
+          occurs.(li).(fill.(li)) <- ci;
+          fill.(li) <- fill.(li) + 1)
+        c)
+    clauses;
+  {
+    num_vars;
+    clauses;
+    occurs;
+    sat_stamp = Array.make (Array.length clauses) (-1);
+    free_count = Array.map Array.length clauses;
+    assign = Array.make (num_vars + 1) 0;
+    lit_active = Array.copy occ_count;
+    unsat_clauses = Array.length clauses;
+    trail = Array.make (max 1 num_vars) 0;
+    trail_size = 0;
+    calls = 0;
+    units = 0;
+    pures = 0;
+    depth_max = 0;
+    backtracks = 0;
+    max_calls;
+  }
+
+(* Assign literal [l] true.  Returns false on an empty clause (conflict). *)
+let assign_lit st l =
+  let stamp = st.trail_size in
+  st.trail.(st.trail_size) <- l;
+  st.trail_size <- st.trail_size + 1;
+  st.assign.(abs l) <- (if l > 0 then 1 else 2);
+  (* Clauses containing l become satisfied. *)
+  Array.iter
+    (fun ci ->
+      if st.sat_stamp.(ci) < 0 then begin
+        st.sat_stamp.(ci) <- stamp;
+        st.unsat_clauses <- st.unsat_clauses - 1;
+        Array.iter
+          (fun q ->
+            let qi = lit_index q in
+            st.lit_active.(qi) <- st.lit_active.(qi) - 1)
+          st.clauses.(ci)
+      end)
+    st.occurs.(lit_index l);
+  (* Clauses containing ¬l lose a free literal. *)
+  let conflict = ref false in
+  Array.iter
+    (fun ci ->
+      if st.sat_stamp.(ci) < 0 then begin
+        st.free_count.(ci) <- st.free_count.(ci) - 1;
+        if st.free_count.(ci) = 0 then conflict := true
+      end)
+    st.occurs.(lit_index (-l));
+  not !conflict
+
+(* Undo assignments down to trail size [target]. *)
+let undo_to st target =
+  while st.trail_size > target do
+    st.trail_size <- st.trail_size - 1;
+    let stamp = st.trail_size in
+    let l = st.trail.(stamp) in
+    st.assign.(abs l) <- 0;
+    Array.iter
+      (fun ci -> if st.sat_stamp.(ci) < 0 then st.free_count.(ci) <- st.free_count.(ci) + 1)
+      st.occurs.(lit_index (-l));
+    Array.iter
+      (fun ci ->
+        if st.sat_stamp.(ci) = stamp then begin
+          st.sat_stamp.(ci) <- -1;
+          st.unsat_clauses <- st.unsat_clauses + 1;
+          Array.iter
+            (fun q ->
+              let qi = lit_index q in
+              st.lit_active.(qi) <- st.lit_active.(qi) + 1)
+            st.clauses.(ci)
+        end)
+      st.occurs.(lit_index l)
+  done
+
+(* Find an unsatisfied unit clause and return its free literal. *)
+let find_unit st =
+  let n = Array.length st.clauses in
+  let rec go ci =
+    if ci >= n then None
+    else if st.sat_stamp.(ci) < 0 && st.free_count.(ci) = 1 then begin
+      let clause = st.clauses.(ci) in
+      let rec pick k =
+        if st.assign.(abs clause.(k)) = 0 then clause.(k) else pick (k + 1)
+      in
+      Some (pick 0)
+    end
+    else go (ci + 1)
+  in
+  go 0
+
+(* Find a pure literal among unsatisfied clauses. *)
+let find_pure st =
+  let rec go v =
+    if v > st.num_vars then None
+    else if st.assign.(v) <> 0 then go (v + 1)
+    else begin
+      let pos = st.lit_active.(lit_index v) in
+      let neg = st.lit_active.(lit_index (-v)) in
+      if pos > 0 && neg = 0 then Some v
+      else if neg > 0 && pos = 0 then Some (-v)
+      else go (v + 1)
+    end
+  in
+  go 1
+
+(* Branching heuristic: the first free literal of the first unsatisfied
+   clause — the historical Davis-Putnam choice, matching the fixed-length
+   3-SAT experiments of Mitchell et al. *)
+let pick_branch st =
+  let n = Array.length st.clauses in
+  let rec go ci =
+    if ci >= n then None
+    else if st.sat_stamp.(ci) < 0 then begin
+      let clause = st.clauses.(ci) in
+      let rec pick k =
+        if st.assign.(abs clause.(k)) = 0 then clause.(k) else pick (k + 1)
+      in
+      Some (pick 0)
+    end
+    else go (ci + 1)
+  in
+  go 0
+
+let rec dpll st depth =
+  st.calls <- st.calls + 1;
+  if st.max_calls >= 0 && st.calls > st.max_calls then raise Abort;
+  if depth > st.depth_max then st.depth_max <- depth;
+  let frame = st.trail_size in
+  let conflict = ref false in
+  (* Unit propagation to fixpoint. *)
+  let rec propagate () =
+    if not !conflict then
+      match find_unit st with
+      | None -> ()
+      | Some l ->
+        st.units <- st.units + 1;
+        if assign_lit st l then propagate () else conflict := true
+  in
+  propagate ();
+  (* Pure-literal elimination to fixpoint (never conflicts). *)
+  let rec purify () =
+    if not !conflict then
+      match find_pure st with
+      | None -> ()
+      | Some l ->
+        st.pures <- st.pures + 1;
+        if assign_lit st l then purify () else conflict := true
+  in
+  purify ();
+  if !conflict then begin
+    st.backtracks <- st.backtracks + 1;
+    undo_to st frame;
+    false
+  end
+  else if st.unsat_clauses = 0 then true
+  else begin
+    match pick_branch st with
+    | None ->
+      (* No free literal in an unsatisfied clause: empty clause. *)
+      st.backtracks <- st.backtracks + 1;
+      undo_to st frame;
+      false
+    | Some l ->
+      let try_branch lit =
+        let sub_frame = st.trail_size in
+        if assign_lit st lit then begin
+          if dpll st (depth + 1) then true
+          else begin
+            undo_to st sub_frame;
+            false
+          end
+        end
+        else begin
+          st.backtracks <- st.backtracks + 1;
+          undo_to st sub_frame;
+          false
+        end
+      in
+      if try_branch l then true
+      else if try_branch (-l) then true
+      else begin
+        undo_to st frame;
+        false
+      end
+  end
+
+let solve ?(max_calls = -1) f =
+  let st = build f max_calls in
+  let outcome =
+    if Array.exists (fun c -> Array.length c = 0) st.clauses then Unsat
+    else begin
+      try if dpll st 0 then Sat else Unsat with Abort -> Aborted
+    end
+  in
+  ( outcome,
+    {
+      recursive_calls = st.calls;
+      unit_propagations = st.units;
+      pure_literals = st.pures;
+      max_depth = st.depth_max;
+      backtracks = st.backtracks;
+    } )
+
+let pp_stats fmt st =
+  Format.fprintf fmt "calls %d, units %d, pures %d, max depth %d, backtracks %d"
+    st.recursive_calls st.unit_propagations st.pure_literals st.max_depth
+    st.backtracks

@@ -1,0 +1,26 @@
+(** Textbook DPLL (Algorithm 1 of the paper), instrumented.
+
+    Unit propagation, pure-literal elimination, then branching; each
+    branching step is one recursive call and one extra level in the decision
+    tree.  The recursive-call counter is the quantity plotted in Fig. 1 and
+    the [M] of the paper's equation (2). *)
+
+type outcome = Sat | Unsat | Aborted  (** [Aborted]: call limit reached *)
+
+type stats = {
+  recursive_calls : int;  (** branching DPLL invocations (the paper's M) *)
+  unit_propagations : int;
+  pure_literals : int;
+  max_depth : int;
+  backtracks : int;
+}
+
+(** [solve ?max_calls f] decides [f].  [max_calls] bounds the number of
+    branching calls (default unlimited). *)
+val solve : ?max_calls:int -> Fl_cnf.Formula.t -> outcome * stats
+
+(** [model_after_sat] style access is intentionally absent: the paper only
+    uses DPLL to measure search-tree size; use {!Cdcl} when a model is
+    needed. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,51 @@
+let fixed_length rng ~num_vars ~num_clauses ~k =
+  if num_vars < 1 || num_clauses < 1 || k < 1 then
+    invalid_arg "Random_sat.fixed_length: non-positive size";
+  if k > num_vars then invalid_arg "Random_sat.fixed_length: k > num_vars";
+  let f = Fl_cnf.Formula.create () in
+  Fl_cnf.Formula.reserve f num_vars;
+  let scratch = Array.make k 0 in
+  for _ = 1 to num_clauses do
+    (* Draw k distinct variables by rejection (k is tiny). *)
+    let filled = ref 0 in
+    while !filled < k do
+      let v = 1 + Random.State.int rng num_vars in
+      let dup =
+        let rec chk i = i < !filled && (scratch.(i) = v || chk (i + 1)) in
+        chk 0
+      in
+      if not dup then begin
+        scratch.(!filled) <- v;
+        incr filled
+      end
+    done;
+    let lits =
+      Array.to_list
+        (Array.map
+           (fun v -> if Random.State.bool rng then v else -v)
+           (Array.sub scratch 0 k))
+    in
+    Fl_cnf.Formula.add_clause f lits
+  done;
+  f
+
+let median xs =
+  let sorted = List.sort compare xs in
+  List.nth sorted (List.length sorted / 2)
+
+let ratio_sweep rng ~num_vars ~k ~ratios ~samples =
+  List.map
+    (fun ratio ->
+      let num_clauses = max 1 (int_of_float (ratio *. float_of_int num_vars)) in
+      let calls = ref [] in
+      let sat_count = ref 0 in
+      for _ = 1 to samples do
+        let f = fixed_length rng ~num_vars ~num_clauses ~k in
+        let outcome, st = Dpll.solve f in
+        (match outcome with
+         | Dpll.Sat -> incr sat_count
+         | Dpll.Unsat | Dpll.Aborted -> ());
+        calls := st.Dpll.recursive_calls :: !calls
+      done;
+      ratio, median !calls, float_of_int !sat_count /. float_of_int samples)
+    ratios

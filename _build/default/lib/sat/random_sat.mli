@@ -1,0 +1,22 @@
+(** Fixed-clause-length random k-SAT (the model of Mitchell, Selman and
+    Levesque used for Fig. 1: clauses of exactly [k] distinct variables with
+    independent random polarities). *)
+
+(** [fixed_length rng ~num_vars ~num_clauses ~k] draws a formula.
+    @raise Invalid_argument when [k > num_vars] or arguments are
+    non-positive. *)
+val fixed_length :
+  Random.State.t -> num_vars:int -> num_clauses:int -> k:int -> Fl_cnf.Formula.t
+
+(** [ratio_sweep rng ~num_vars ~k ~ratios ~samples] generates [samples]
+    formulas per clause/variable ratio and reports the median DPLL
+    recursive-call count and the fraction satisfiable — the data behind
+    Fig. 1. *)
+val ratio_sweep :
+  Random.State.t ->
+  num_vars:int ->
+  k:int ->
+  ratios:float list ->
+  samples:int ->
+  (float * int * float) list
+(** (ratio, median recursive calls, fraction satisfiable) *)

@@ -1,0 +1,20 @@
+  $ fulllock generate --gates 100 --inputs 8 --outputs 4 --seed 3 -o host.bench
+  $ fulllock lock host.bench --scheme full-lock --plr 1x4 --seed 5 \
+  >   -o locked.bench --key-out key.txt | sed 's/ (.*//' | head -2
+  $ fulllock verify locked.bench host.bench key.txt
+  $ fulllock attack locked.bench host.bench --kind sat --timeout 60 \
+  >   --key-out recovered.txt 2>/dev/null | tail -1 | sed 's/ (.*//'
+  $ fulllock verify locked.bench host.bench recovered.txt
+  $ fulllock activate locked.bench key.txt -o activated.bench > /dev/null
+  $ fulllock equiv activated.bench host.bench
+  $ fulllock export-verilog activated.bench -o activated.v
+  $ tr '01' '10' < key.txt > wrong.txt
+  $ fulllock verify locked.bench host.bench wrong.txt
+  $ fulllock lock host.bench --scheme rll --key-bits 8 --seed 7 \
+  >   -o rll.bench --key-out rll_key.txt | tail -1 | sed 's/: .*//'
+  $ fulllock coverage activated.bench --vectors 64
+  $ fulllock testgen activated.bench -o tests.txt | tail -1 | sed 's/ (.*//'
+  $ printf 'p cnf 2 2\n1 2 0\n-1 0\n' > f.cnf
+  $ flsat f.cnf
+  $ printf 'p cnf 1 2\n1 0\n-1 0\n' > u.cnf
+  $ flsat u.cnf

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Array Fl_attacks Fl_cln Fl_cnf Fl_core Fl_locking Fl_netlist Fl_sat List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Fl_bdd Fl_core Fl_locking Fl_netlist Float Option Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_cln.ml: Alcotest Array Fl_cln Fl_netlist Float Format List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_cnf.ml: Alcotest Array Fl_cnf Fl_netlist Fl_sat List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_locking.ml: Alcotest Array Fl_cln Fl_core Fl_locking Fl_netlist Float List Printf QCheck2 QCheck_alcotest Random

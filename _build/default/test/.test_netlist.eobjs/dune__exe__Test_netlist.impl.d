@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Char Fl_netlist Format List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ppa.ml: Alcotest Fl_cln Fl_core Fl_locking Fl_netlist Fl_ppa Float List Printf Random

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Fl_cnf Fl_sat List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array Char Fl_core Fl_locking Fl_netlist Fl_sat List Option Printf QCheck2 QCheck_alcotest Random String

@@ -1,0 +1,512 @@
+(* Tests for Fl_attacks: SAT attack, CycSAT, AppSAT, brute force, removal,
+   SPS, affine — against every locking scheme. *)
+
+module Circuit = Fl_netlist.Circuit
+module Sim = Fl_netlist.Sim
+module Generator = Fl_netlist.Generator
+module Gate = Fl_netlist.Gate
+module Locked = Fl_locking.Locked
+module Fulllock = Fl_core.Fulllock
+module Cln = Fl_cln.Cln
+module Sat_attack = Fl_attacks.Sat_attack
+module Cycsat = Fl_attacks.Cycsat
+module Appsat = Fl_attacks.Appsat
+module Brute_force = Fl_attacks.Brute_force
+module Removal = Fl_attacks.Removal
+module Sps = Fl_attacks.Sps
+module Affine = Fl_attacks.Affine
+module Bypass = Fl_attacks.Bypass
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let host ?(seed = 201) ?(gates = 60) ?(inputs = 8) ?(outputs = 4) () =
+  Generator.random ~seed ~name:"host"
+    { Generator.num_inputs = inputs; num_outputs = outputs; num_gates = gates;
+      max_fanin = 3; and_bias = 0.8 }
+
+let broken_correct r =
+  match r.Sat_attack.status with
+  | Sat_attack.Broken _ -> r.Sat_attack.key_is_correct
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* SAT attack                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_sat_breaks_rll () =
+  let rng = Random.State.make [| 1 |] in
+  let l = Fl_locking.Rll.lock rng ~key_bits:8 (host ()) in
+  let r = Sat_attack.run ~timeout:30.0 l in
+  check bool_t "broken correctly" true (broken_correct r);
+  check bool_t "few iterations" true (r.Sat_attack.iterations <= 20)
+
+let test_sat_breaks_mux_lock () =
+  let rng = Random.State.make [| 2 |] in
+  let l = Fl_locking.Mux_lock.lock rng ~key_bits:8 (host ()) in
+  let r = Sat_attack.run ~timeout:30.0 l in
+  check bool_t "broken correctly" true (broken_correct r)
+
+let test_sat_breaks_lut_lock () =
+  let rng = Random.State.make [| 3 |] in
+  let l = Fl_locking.Lut_lock.lock rng ~gates:4 (host ()) in
+  let r = Sat_attack.run ~timeout:30.0 l in
+  check bool_t "broken correctly" true (broken_correct r)
+
+let test_sat_breaks_cross_lock () =
+  let rng = Random.State.make [| 4 |] in
+  let l = Fl_locking.Cross_lock.lock rng ~n:4 (host ~gates:100 ()) in
+  let r = Sat_attack.run ~timeout:30.0 l in
+  check bool_t "broken correctly" true (broken_correct r)
+
+let test_sarlock_needs_many_iterations () =
+  (* SARLock's defining property: ~one key ruled out per DIP, so the
+     iteration count approaches the key-space size; RLL needs far fewer. *)
+  let rng = Random.State.make [| 5 |] in
+  let c = host ~inputs:6 () in
+  let sar = Fl_locking.Sarlock.lock rng ~key_bits:5 c in
+  let rll = Fl_locking.Rll.lock rng ~key_bits:5 c in
+  let r_sar = Sat_attack.run ~timeout:60.0 sar in
+  let r_rll = Sat_attack.run ~timeout:60.0 rll in
+  check bool_t "sarlock broken" true (broken_correct r_sar);
+  check bool_t "rll broken" true (broken_correct r_rll);
+  check bool_t
+    (Printf.sprintf "sarlock iters (%d) > rll iters (%d)"
+       r_sar.Sat_attack.iterations r_rll.Sat_attack.iterations)
+    true
+    (r_sar.Sat_attack.iterations > r_rll.Sat_attack.iterations)
+
+let test_sat_breaks_small_cln () =
+  List.iter
+    (fun spec ->
+      let rng = Random.State.make [| 6 |] in
+      let l = Fulllock.standalone_cln_lock spec rng in
+      let r = Sat_attack.run ~timeout:60.0 l in
+      check bool_t "cln broken" true (broken_correct r))
+    [ Cln.blocking_spec ~n:4; Cln.default_spec ~n:4 ]
+
+let test_sat_breaks_small_fulllock () =
+  let rng = Random.State.make [| 7 |] in
+  let l = Fulllock.lock_one rng ~n:4 (host ~gates:80 ()) in
+  let r = Sat_attack.run ~timeout:120.0 l in
+  check bool_t "small full-lock broken" true (broken_correct r)
+
+let test_sat_timeout_reported () =
+  let rng = Random.State.make [| 8 |] in
+  let l = Fulllock.lock_one rng ~n:8 (host ~gates:120 ~inputs:12 ()) in
+  let r = Sat_attack.run ~timeout:0.05 l in
+  check bool_t "timeout" true (r.Sat_attack.status = Sat_attack.Timeout)
+
+let test_sat_iteration_limit () =
+  let rng = Random.State.make [| 9 |] in
+  let l = Fl_locking.Sarlock.lock rng ~key_bits:6 (host ()) in
+  let r = Sat_attack.run ~timeout:60.0 ~max_iterations:3 l in
+  check bool_t "limited" true
+    (r.Sat_attack.status = Sat_attack.Iteration_limit
+     || r.Sat_attack.status = Sat_attack.Timeout
+     || broken_correct r)
+
+let test_sat_ratio_positive () =
+  let rng = Random.State.make [| 10 |] in
+  let l = Fl_locking.Rll.lock rng ~key_bits:4 (host ()) in
+  let r = Sat_attack.run ~timeout:30.0 l in
+  check bool_t "ratio sane" true
+    (r.Sat_attack.clause_var_ratio > 1.0 && r.Sat_attack.clause_var_ratio < 10.0)
+
+(* ------------------------------------------------------------------ *)
+(* CycSAT                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let cyclic_fulllock ?(seed = 23) () =
+  (* Search seeds until the cyclic policy actually yields a cyclic locked
+     circuit (most seeds do). *)
+  let c = host ~gates:100 () in
+  let rec go s =
+    if s > seed + 30 then failwith "no cyclic instance found"
+    else begin
+      let rng = Random.State.make [| s |] in
+      let l = Fulllock.lock_one rng ~policy:`Cyclic ~n:4 c in
+      if Circuit.is_acyclic l.Locked.locked then go (s + 1) else l
+    end
+  in
+  go seed
+
+let test_cycsat_breaks_cyclic_fulllock () =
+  let l = cyclic_fulllock () in
+  check bool_t "feedback edges > 0" true
+    (Cycsat.num_feedback_edges l.Locked.locked > 0);
+  let r = Cycsat.run ~timeout:120.0 l in
+  check bool_t "cycsat broke it with a correct key" true (broken_correct r)
+
+let test_cycsat_breaks_cyclic_lock () =
+  (* The SRCLock-style cyclic baseline is exactly what CycSAT was published
+     against. *)
+  let c = host ~gates:100 () in
+  let rng = Random.State.make [| 31 |] in
+  let l = Fl_locking.Cyclic_lock.lock rng ~cycles:3 c in
+  check bool_t "cyclic" false (Circuit.is_acyclic l.Locked.locked);
+  let r = Cycsat.run ~timeout:60.0 l in
+  check bool_t "broken correctly" true (broken_correct r)
+
+let test_sat_on_sfll_needs_many_iterations () =
+  (* SFLL-HD with h=0 degenerates to SARLock's point function: one key per
+     DIP, so iterations approach the key-space size.  Larger h trades
+     resilience for corruption (checked: fewer iterations than h=0). *)
+  let rng = Random.State.make [| 32 |] in
+  let c = host ~inputs:6 () in
+  let l0 = Fl_locking.Sfll.lock rng ~key_bits:5 ~h:0 c in
+  let r0 = Sat_attack.run ~timeout:120.0 l0 in
+  check bool_t "h=0 broken" true (broken_correct r0);
+  check bool_t
+    (Printf.sprintf "h=0 many DIPs (%d)" r0.Sat_attack.iterations)
+    true
+    (r0.Sat_attack.iterations >= 8);
+  let l1 = Fl_locking.Sfll.lock rng ~key_bits:5 ~h:1 c in
+  let r1 = Sat_attack.run ~timeout:120.0 l1 in
+  check bool_t "h=1 broken" true (broken_correct r1);
+  check bool_t "h=1 needs fewer DIPs than h=0" true
+    (r1.Sat_attack.iterations <= r0.Sat_attack.iterations)
+
+let test_appsat_approximates_sfll () =
+  let rng = Random.State.make [| 33 |] in
+  let l = Fl_locking.Sfll.lock rng ~key_bits:8 ~h:1 (host ~inputs:10 ()) in
+  let r = Appsat.run ~timeout:60.0 ~settle_every:2 ~error_threshold:0.02 l in
+  match r.Appsat.key with
+  | None -> Alcotest.fail "appsat found no key"
+  | Some _ ->
+    check bool_t
+      (Printf.sprintf "low error (%.3f)" r.Appsat.estimated_error)
+      true
+      (r.Appsat.estimated_error <= 0.02)
+
+let test_cycsat_on_acyclic_equals_sat () =
+  let rng = Random.State.make [| 11 |] in
+  let l = Fl_locking.Rll.lock rng ~key_bits:6 (host ()) in
+  check bool_t "no feedback" true (Cycsat.num_feedback_edges l.Locked.locked = 0);
+  let r = Cycsat.run ~timeout:30.0 l in
+  check bool_t "still breaks" true (broken_correct r)
+
+let test_nc_conditions_allow_correct_key () =
+  (* The correct key must satisfy the no-cycle conditions: assert NC plus
+     the correct key as units and check satisfiability. *)
+  let l = cyclic_fulllock ~seed:40 () in
+  let f = Fl_cnf.Formula.create () in
+  let nk = Locked.num_key_bits l in
+  let key_vars = Fl_cnf.Formula.fresh_vars f nk in
+  Cycsat.no_cycle_condition l.Locked.locked f key_vars;
+  Array.iteri
+    (fun i v ->
+      Fl_cnf.Formula.add_clause f [ (if l.Locked.correct_key.(i) then v else -v) ])
+    key_vars;
+  let outcome, _, _ = Fl_sat.Cdcl.solve_formula f in
+  check bool_t "correct key satisfies NC" true (outcome = Fl_sat.Cdcl.Sat)
+
+(* ------------------------------------------------------------------ *)
+(* AppSAT                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_appsat_approximates_sarlock () =
+  (* AppSAT should settle on a low-error key for SARLock long before the
+     exact attack's ~2^k iterations. *)
+  let rng = Random.State.make [| 12 |] in
+  let l = Fl_locking.Sarlock.lock rng ~key_bits:8 (host ~inputs:10 ()) in
+  let r = Appsat.run ~timeout:60.0 ~settle_every:2 ~error_threshold:0.02 l in
+  match r.Appsat.key with
+  | None -> Alcotest.fail "appsat found no key"
+  | Some _ ->
+    check bool_t
+      (Printf.sprintf "low error (%.3f)" r.Appsat.estimated_error)
+      true
+      (r.Appsat.estimated_error <= 0.02)
+
+let test_appsat_exact_on_rll () =
+  let rng = Random.State.make [| 13 |] in
+  let l = Fl_locking.Rll.lock rng ~key_bits:6 (host ()) in
+  let r = Appsat.run ~timeout:60.0 l in
+  match r.Appsat.key with
+  | Some key ->
+    check bool_t "key works" true (Locked.key_matches l ~key)
+  | None -> Alcotest.fail "appsat failed on rll"
+
+(* ------------------------------------------------------------------ *)
+(* Brute force                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_brute_force_small () =
+  let rng = Random.State.make [| 14 |] in
+  let l = Fl_locking.Rll.lock rng ~key_bits:6 (host ()) in
+  let r = Brute_force.run l in
+  match r.Brute_force.key with
+  | Some key -> check bool_t "key works" true (Locked.key_matches l ~key)
+  | None -> Alcotest.fail "brute force failed"
+
+let test_brute_force_rejects_large () =
+  let rng = Random.State.make [| 15 |] in
+  let l = Fulllock.lock_one rng ~n:8 (host ~gates:120 ~inputs:12 ()) in
+  try
+    ignore (Brute_force.run l);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_brute_force_agrees_with_sat () =
+  let rng = Random.State.make [| 16 |] in
+  let l = Fl_locking.Mux_lock.lock rng ~key_bits:5 (host ()) in
+  let bf = Brute_force.run l in
+  let sa = Sat_attack.run ~timeout:30.0 l in
+  check bool_t "both found keys" true (bf.Brute_force.key <> None && broken_correct sa)
+
+(* ------------------------------------------------------------------ *)
+(* Removal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_removal_breaks_sarlock () =
+  let rng = Random.State.make [| 17 |] in
+  let l = Fl_locking.Sarlock.lock rng ~key_bits:6 (host ~inputs:8 ()) in
+  let r = Removal.run l in
+  check bool_t "flip gate removed" true (r.Removal.removed_flip_gates >= 1);
+  check bool_t "equivalent" true r.Removal.equivalent
+
+let test_removal_breaks_antisat () =
+  let rng = Random.State.make [| 18 |] in
+  let l = Fl_locking.Antisat.lock rng ~key_bits:12 (host ~inputs:8 ()) in
+  let r = Removal.run l in
+  check bool_t "equivalent" true r.Removal.equivalent
+
+let test_removal_fails_on_fulllock () =
+  let rng = Random.State.make [| 19 |] in
+  let l = Fulllock.lock_one rng ~n:4 (host ~gates:80 ()) in
+  let r = Removal.run l in
+  check bool_t "not equivalent" false r.Removal.equivalent
+
+let test_removal_fails_on_crosslock_with_secret_routing () =
+  (* The crossbar bypass guesses identity routing; with a random secret
+     permutation this is almost surely wrong. *)
+  let rng = Random.State.make [| 20 |] in
+  let l = Fl_locking.Cross_lock.lock rng ~n:8 (host ~gates:120 ()) in
+  let r = Removal.run l in
+  check bool_t "bypassed muxes" true (r.Removal.bypassed_mux_islands > 0);
+  check bool_t "not equivalent" false r.Removal.equivalent
+
+(* ------------------------------------------------------------------ *)
+(* Bypass                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bypass_breaks_sarlock () =
+  (* One wrong key disagrees on exactly one input pattern: the bypass is a
+     single comparator. *)
+  let rng = Random.State.make [| 41 |] in
+  let l = Fl_locking.Sarlock.lock rng ~key_bits:6 (host ~inputs:8 ()) in
+  match Bypass.run l with
+  | Bypass.Bypassed { cubes; repaired; _ } ->
+    (* Cube generalization recovers SARLock's single comparator cube. *)
+    check bool_t "single cube" true (List.length cubes = 1);
+    check bool_t "repaired equals oracle" true
+      (Fl_sat.Equiv.check repaired l.Locked.oracle = Fl_sat.Equiv.Equivalent)
+  | Bypass.Too_many_cubes _ | Bypass.Inconclusive ->
+    Alcotest.fail "bypass should break sarlock"
+
+let test_bypass_breaks_sfll () =
+  let rng = Random.State.make [| 42 |] in
+  let l = Fl_locking.Sfll.lock rng ~key_bits:6 ~h:1 (host ~inputs:8 ()) in
+  match Bypass.run ~max_cubes:80 l with
+  | Bypass.Bypassed { cubes; repaired; _ } ->
+    check bool_t "bounded cubes" true (List.length cubes <= 80);
+    check bool_t "repaired equals oracle" true
+      (Fl_sat.Equiv.check repaired l.Locked.oracle = Fl_sat.Equiv.Equivalent)
+  | Bypass.Too_many_cubes _ | Bypass.Inconclusive ->
+    Alcotest.fail "bypass should break sfll-hd at small h"
+
+let test_bypass_fails_on_fulllock () =
+  (* High corruption: a wrong key disagrees on a large fraction of the input
+     space, so minterm enumeration blows past any practical bypass budget. *)
+  let rng = Random.State.make [| 43 |] in
+  let l = Fulllock.lock_one rng ~n:4 (host ~gates:80 ~inputs:10 ()) in
+  match Bypass.run ~max_cubes:24 ~timeout:60.0 l with
+  | Bypass.Too_many_cubes { found; _ } ->
+    check bool_t "blew the budget" true (found > 24)
+  | Bypass.Bypassed { cubes; _ } ->
+    Alcotest.failf "unexpected bypass with %d cubes" (List.length cubes)
+  | Bypass.Inconclusive -> ()
+
+let test_bypass_fails_on_rll () =
+  (* RLL also corrupts broadly — bypass is the point-function killer only. *)
+  let rng = Random.State.make [| 44 |] in
+  let l = Fl_locking.Rll.lock rng ~key_bits:8 (host ~inputs:10 ()) in
+  match Bypass.run ~max_cubes:24 ~timeout:60.0 l with
+  | Bypass.Too_many_cubes _ -> ()
+  | Bypass.Bypassed { cubes; _ } ->
+    (* a lucky wrong key may corrupt only a few cubes; accept small repairs *)
+    check bool_t "only small bypass accepted" true (List.length cubes <= 24)
+  | Bypass.Inconclusive -> ()
+
+(* ------------------------------------------------------------------ *)
+(* SPS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sps_probability_sanity () =
+  let b = Circuit.Builder.create ~name:"p" () in
+  let x = Circuit.Builder.input ~name:"x" b in
+  let y = Circuit.Builder.input ~name:"y" b in
+  let g_and = Circuit.Builder.add ~name:"g_and" b Gate.And [| x; y |] in
+  let g_xor = Circuit.Builder.add ~name:"g_xor" b Gate.Xor [| x; y |] in
+  let g_nor3 = Circuit.Builder.add ~name:"g_nor" b Gate.Nor [| x; y; g_xor |] in
+  Circuit.Builder.output b "a" g_and;
+  Circuit.Builder.output b "b" g_nor3;
+  let c = Circuit.of_builder b in
+  let p = Sps.probabilities c in
+  check (Alcotest.float 1e-9) "and" 0.25 p.(g_and);
+  check (Alcotest.float 1e-9) "xor" 0.5 p.(g_xor);
+  check bool_t "nor3 low" true (p.(g_nor3) < 0.25)
+
+let test_sps_flags_antisat () =
+  let rng = Random.State.make [| 21 |] in
+  let l = Fl_locking.Antisat.lock rng ~key_bits:16 (host ~inputs:10 ()) in
+  check bool_t "identified" true (Sps.identifies_block l)
+
+let test_sps_does_not_flag_fulllock () =
+  let rng = Random.State.make [| 22 |] in
+  let l = Fulllock.lock_one rng ~n:8 (host ~gates:120 ~inputs:12 ()) in
+  check bool_t "not identified" false (Sps.identifies_block l)
+
+(* ------------------------------------------------------------------ *)
+(* Affine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_affine_fits_cln () =
+  (* A bare CLN (permutation + inversions) is affine — the §4.2.3
+     vulnerability of routing-only obfuscation. *)
+  let rng = Random.State.make [| 23 |] in
+  let l = Fulllock.standalone_cln_lock (Cln.default_spec ~n:8) rng in
+  let fit = Affine.attack_oracle l in
+  check bool_t "affine" true fit.Affine.is_affine
+
+let test_affine_rejects_nonlinear () =
+  (* Append one AND gate to a permutation: no longer affine. *)
+  let f x =
+    [| x.(1); x.(0); x.(2) && x.(1) |]
+  in
+  let fit = Affine.fit_function ~arity:3 f in
+  check bool_t "not affine" false fit.Affine.is_affine;
+  check bool_t "counterexamples seen" true (fit.Affine.counterexamples > 0)
+
+let test_affine_apply_matches () =
+  let rng = Random.State.make [| 24 |] in
+  let l = Fulllock.standalone_cln_lock (Cln.blocking_spec ~n:8) rng in
+  let fit = Affine.attack_oracle l in
+  let x = Sim.random_vector (Random.State.make [| 3 |]) 8 in
+  check (Alcotest.array bool_t) "fit reproduces oracle"
+    (Locked.query_oracle l x) (Affine.apply fit x)
+
+let test_affine_rejects_plr () =
+  (* CLN followed by key-programmed AND-like LUTs (the PLR shape): pairs of
+     CLN outputs feed 2-input gates — not affine. *)
+  let rng = Random.State.make [| 25 |] in
+  let spec = Cln.default_spec ~n:8 in
+  let key = Cln.random_routable_key spec rng in
+  let action = Cln.decode spec ~key in
+  let f x =
+    let routed = Cln.apply_action action x in
+    Array.init 4 (fun i -> routed.(2 * i) && routed.((2 * i) + 1))
+  in
+  let fit = Affine.fit_function ~arity:8 f in
+  check bool_t "plr not affine" false fit.Affine.is_affine
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_case ?(count = 15) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let prop_sat_attack_recovers_function =
+  (* Whatever scheme, on small instances the SAT attack's recovered key is
+     functionally correct (acyclic circuits only). *)
+  let gen = QCheck2.Gen.(pair (int_bound 1000) (int_range 0 3)) in
+  qcheck_case "sat attack sound on acyclic schemes" gen (fun (seed, which) ->
+      let c = host ~seed:(seed + 31) () in
+      let rng = Random.State.make [| seed |] in
+      let l =
+        match which with
+        | 0 -> Fl_locking.Rll.lock rng ~key_bits:5 c
+        | 1 -> Fl_locking.Mux_lock.lock rng ~key_bits:5 c
+        | 2 -> Fl_locking.Lut_lock.lock rng ~gates:3 c
+        | _ -> Fl_locking.Cross_lock.lock rng ~n:4 c
+      in
+      let r = Sat_attack.run ~timeout:60.0 l in
+      broken_correct r)
+
+let prop_cycsat_sound_on_cyclic_fulllock =
+  let gen = QCheck2.Gen.int_bound 1000 in
+  qcheck_case ~count:6 "cycsat sound on cyclic full-lock" gen (fun seed ->
+      let c = host ~seed:(seed + 77) ~gates:90 () in
+      let rng = Random.State.make [| seed |] in
+      let l = Fulllock.lock_one rng ~policy:`Cyclic ~n:4 c in
+      let r = Cycsat.run ~timeout:120.0 l in
+      broken_correct r)
+
+let () =
+  Alcotest.run "attacks"
+    [
+      ( "sat_attack",
+        [
+          Alcotest.test_case "breaks rll" `Quick test_sat_breaks_rll;
+          Alcotest.test_case "breaks mux" `Quick test_sat_breaks_mux_lock;
+          Alcotest.test_case "breaks lutlock" `Quick test_sat_breaks_lut_lock;
+          Alcotest.test_case "breaks crosslock" `Quick test_sat_breaks_cross_lock;
+          Alcotest.test_case "sarlock needs many DIPs" `Slow test_sarlock_needs_many_iterations;
+          Alcotest.test_case "breaks small cln" `Quick test_sat_breaks_small_cln;
+          Alcotest.test_case "breaks small fulllock" `Slow test_sat_breaks_small_fulllock;
+          Alcotest.test_case "timeout" `Quick test_sat_timeout_reported;
+          Alcotest.test_case "iteration limit" `Quick test_sat_iteration_limit;
+          Alcotest.test_case "ratio" `Quick test_sat_ratio_positive;
+        ] );
+      ( "cycsat",
+        [
+          Alcotest.test_case "breaks cyclic fulllock" `Slow test_cycsat_breaks_cyclic_fulllock;
+          Alcotest.test_case "acyclic = sat" `Quick test_cycsat_on_acyclic_equals_sat;
+          Alcotest.test_case "breaks cyclic-lock" `Quick test_cycsat_breaks_cyclic_lock;
+          Alcotest.test_case "NC admits correct key" `Quick test_nc_conditions_allow_correct_key;
+        ] );
+      ( "appsat",
+        [
+          Alcotest.test_case "approximates sarlock" `Slow test_appsat_approximates_sarlock;
+          Alcotest.test_case "approximates sfll" `Slow test_appsat_approximates_sfll;
+          Alcotest.test_case "sfll many DIPs" `Slow test_sat_on_sfll_needs_many_iterations;
+          Alcotest.test_case "exact on rll" `Quick test_appsat_exact_on_rll;
+        ] );
+      ( "brute_force",
+        [
+          Alcotest.test_case "small" `Quick test_brute_force_small;
+          Alcotest.test_case "rejects large" `Quick test_brute_force_rejects_large;
+          Alcotest.test_case "agrees with sat" `Quick test_brute_force_agrees_with_sat;
+        ] );
+      ( "removal",
+        [
+          Alcotest.test_case "breaks sarlock" `Quick test_removal_breaks_sarlock;
+          Alcotest.test_case "breaks antisat" `Quick test_removal_breaks_antisat;
+          Alcotest.test_case "fails on fulllock" `Quick test_removal_fails_on_fulllock;
+          Alcotest.test_case "fails on crosslock" `Quick test_removal_fails_on_crosslock_with_secret_routing;
+        ] );
+      ( "bypass",
+        [
+          Alcotest.test_case "breaks sarlock" `Quick test_bypass_breaks_sarlock;
+          Alcotest.test_case "breaks sfll" `Quick test_bypass_breaks_sfll;
+          Alcotest.test_case "fails on fulllock" `Quick test_bypass_fails_on_fulllock;
+          Alcotest.test_case "fails on rll" `Quick test_bypass_fails_on_rll;
+        ] );
+      ( "sps",
+        [
+          Alcotest.test_case "probability sanity" `Quick test_sps_probability_sanity;
+          Alcotest.test_case "flags antisat" `Quick test_sps_flags_antisat;
+          Alcotest.test_case "ignores fulllock" `Quick test_sps_does_not_flag_fulllock;
+        ] );
+      ( "affine",
+        [
+          Alcotest.test_case "fits cln" `Quick test_affine_fits_cln;
+          Alcotest.test_case "rejects nonlinear" `Quick test_affine_rejects_nonlinear;
+          Alcotest.test_case "apply matches" `Quick test_affine_apply_matches;
+          Alcotest.test_case "rejects plr" `Quick test_affine_rejects_plr;
+        ] );
+      ( "properties",
+        [ prop_sat_attack_recovers_function; prop_cycsat_sound_on_cyclic_fulllock ] );
+    ]

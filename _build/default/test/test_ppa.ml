@@ -1,0 +1,128 @@
+(* Tests for Fl_ppa: cell library, STT-LUT model, netlist PPA. *)
+
+module Circuit = Fl_netlist.Circuit
+module Generator = Fl_netlist.Generator
+module Cln = Fl_cln.Cln
+module Ppa = Fl_ppa.Ppa
+module Stt_lut = Fl_ppa.Stt_lut
+module Cell_library = Fl_ppa.Cell_library
+module Fulllock = Fl_core.Fulllock
+module Locked = Fl_locking.Locked
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let test_cln_calibration () =
+  (* The calibrated library should land the shuffle-32 CLN in the
+     neighbourhood of Table 3's 10.1 um2 / 448 nW / 0.82 ns. *)
+  let e = Ppa.of_cln (Cln.blocking_spec ~n:32) in
+  check bool_t (Printf.sprintf "area %.1f near 10.1" e.Ppa.area_um2) true
+    (e.Ppa.area_um2 > 5.0 && e.Ppa.area_um2 < 20.0);
+  check bool_t (Printf.sprintf "power %.0f near 448" e.Ppa.power_nw) true
+    (e.Ppa.power_nw > 200.0 && e.Ppa.power_nw < 900.0);
+  check bool_t (Printf.sprintf "delay %.2f near 0.82" e.Ppa.delay_ns) true
+    (e.Ppa.delay_ns > 0.4 && e.Ppa.delay_ns < 1.6)
+
+let test_non_blocking_costs_about_2x () =
+  (* §3.1: the almost non-blocking CLN costs roughly 2x the blocking CLN of
+     the same size (log2N-2 extra stages). *)
+  List.iter
+    (fun n ->
+      let blocking = Ppa.of_cln (Cln.blocking_spec ~n) in
+      let nnb = Ppa.of_cln (Cln.default_spec ~n) in
+      let ratio = nnb.Ppa.area_um2 /. blocking.Ppa.area_um2 in
+      check bool_t (Printf.sprintf "n=%d ratio %.2f in [1.3, 2.2]" n ratio) true
+        (ratio > 1.3 && ratio < 2.2))
+    [ 16; 32; 64 ]
+
+let test_area_grows_with_n () =
+  let areas =
+    List.map (fun n -> (Ppa.of_cln (Cln.blocking_spec ~n)).Ppa.area_um2) [ 8; 16; 32; 64 ]
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a < b && monotone rest
+    | [ _ ] | [] -> true
+  in
+  check bool_t "monotone" true (monotone areas)
+
+let test_resilient_nnb_cheaper_than_resilient_blocking () =
+  (* Table 3's punchline: the smallest SAT-resilient non-blocking CLN
+     (N=64) costs far less power than the smallest SAT-resilient blocking
+     CLN (N=512). *)
+  let nnb64 = Ppa.of_cln (Cln.default_spec ~n:64) in
+  let blocking512 = Ppa.of_cln (Cln.blocking_spec ~n:512) in
+  check bool_t "power advantage" true
+    (nnb64.Ppa.power_nw < blocking512.Ppa.power_nw /. 2.0);
+  check bool_t "area advantage" true
+    (nnb64.Ppa.area_um2 < blocking512.Ppa.area_um2 /. 2.0)
+
+let test_stt_lut_overhead_shape () =
+  (* Fig. 5: negligible overhead up to k = 5, growing at k = 6. *)
+  let area_ratio k = let a, _, _ = Stt_lut.overhead k in a in
+  List.iter
+    (fun k ->
+      check bool_t (Printf.sprintf "k=%d cheap" k) true (area_ratio k < 2.0))
+    [ 2; 3; 4; 5 ];
+  check bool_t "k=6 grows" true (area_ratio 6 > area_ratio 4);
+  check bool_t "monotone 4..6" true (area_ratio 5 <= area_ratio 6)
+
+let test_stt_lut_delay_flat () =
+  let _, _, d2 = Stt_lut.overhead 2 in
+  let _, _, d5 = Stt_lut.overhead 5 in
+  ignore d2;
+  (* GHz-class: delay stays within ~2x of CMOS even at k = 5. *)
+  check bool_t "delay bounded" true (d5 < 2.5)
+
+let test_locking_overhead_above_one () =
+  let c =
+    Generator.random ~seed:5 ~name:"h"
+      { Generator.num_inputs = 10; num_outputs = 4; num_gates = 90;
+        max_fanin = 3; and_bias = 0.8 }
+  in
+  let rng = Random.State.make [| 1 |] in
+  let l = Fulllock.lock_one rng ~n:4 c in
+  let a, p, d = Ppa.locking_overhead ~original:c l.Locked.locked in
+  check bool_t "area grows" true (a > 1.0);
+  check bool_t "power grows" true (p > 1.0);
+  check bool_t "delay grows" true (d >= 1.0)
+
+let test_cyclic_delay_terminates () =
+  let c =
+    Generator.random ~seed:9 ~name:"h"
+      { Generator.num_inputs = 8; num_outputs = 4; num_gates = 90;
+        max_fanin = 3; and_bias = 0.8 }
+  in
+  let rng = Random.State.make [| 2 |] in
+  let l = Fulllock.lock_one rng ~policy:`Cyclic ~n:4 c in
+  let e = Ppa.of_circuit l.Locked.locked in
+  check bool_t "finite delay" true (Float.is_finite e.Ppa.delay_ns && e.Ppa.delay_ns > 0.0)
+
+let test_scaled_library () =
+  let lib = Cell_library.scale Cell_library.generic_32nm ~area:2.0 ~power:1.0 ~delay:1.0 in
+  let base = Ppa.of_cln (Cln.blocking_spec ~n:16) in
+  let scaled = Ppa.of_cln ~library:lib (Cln.blocking_spec ~n:16) in
+  check (Alcotest.float 1e-6) "area doubles"
+    (base.Ppa.area_um2 *. 2.0) scaled.Ppa.area_um2
+
+let () =
+  Alcotest.run "ppa"
+    [
+      ( "cln",
+        [
+          Alcotest.test_case "calibration" `Quick test_cln_calibration;
+          Alcotest.test_case "non-blocking ~2x" `Quick test_non_blocking_costs_about_2x;
+          Alcotest.test_case "monotone in n" `Quick test_area_grows_with_n;
+          Alcotest.test_case "resilient nnb cheaper" `Quick test_resilient_nnb_cheaper_than_resilient_blocking;
+        ] );
+      ( "stt_lut",
+        [
+          Alcotest.test_case "overhead shape" `Quick test_stt_lut_overhead_shape;
+          Alcotest.test_case "delay flat" `Quick test_stt_lut_delay_flat;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "locking overhead" `Quick test_locking_overhead_above_one;
+          Alcotest.test_case "cyclic delay" `Quick test_cyclic_delay_terminates;
+          Alcotest.test_case "scaled library" `Quick test_scaled_library;
+        ] );
+    ]

@@ -1,0 +1,331 @@
+(* Tests for Fl_sat: CDCL solver, DPLL solver, random k-SAT. *)
+
+module Formula = Fl_cnf.Formula
+module Cdcl = Fl_sat.Cdcl
+module Dpll = Fl_sat.Dpll
+module Random_sat = Fl_sat.Random_sat
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* Reference brute-force SAT decision. *)
+let brute_sat f =
+  let n = Formula.num_vars f in
+  assert (n <= 22);
+  let clauses = Formula.clauses f in
+  let satisfied assignment =
+    Array.for_all
+      (fun clause ->
+        Array.exists
+          (fun l ->
+            let value = assignment land (1 lsl (abs l - 1)) <> 0 in
+            if l > 0 then value else not value)
+          clause)
+      clauses
+  in
+  let rec go a = a < 1 lsl n && (satisfied a || go (a + 1)) in
+  go 0
+
+let model_satisfies f model =
+  Array.for_all
+    (fun clause ->
+      Array.exists (fun l -> if l > 0 then model.(l) else not model.(abs l)) clause)
+    (Formula.clauses f)
+
+(* ------------------------------------------------------------------ *)
+(* CDCL unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_cdcl_trivial_sat () =
+  let s = Cdcl.create () in
+  Cdcl.add_clause s [ 1; 2 ];
+  Cdcl.add_clause s [ -1; 2 ];
+  check bool_t "sat" true (Cdcl.solve s = Cdcl.Sat);
+  check bool_t "x2 true" true (Cdcl.value s 2)
+
+let test_cdcl_trivial_unsat () =
+  let s = Cdcl.create () in
+  Cdcl.add_clause s [ 1 ];
+  Cdcl.add_clause s [ -1 ];
+  check bool_t "unsat" true (Cdcl.solve s = Cdcl.Unsat)
+
+let test_cdcl_units_chain () =
+  let s = Cdcl.create () in
+  Cdcl.add_clause s [ 1 ];
+  Cdcl.add_clause s [ -1; 2 ];
+  Cdcl.add_clause s [ -2; 3 ];
+  Cdcl.add_clause s [ -3; 4 ];
+  check bool_t "sat" true (Cdcl.solve s = Cdcl.Sat);
+  check bool_t "propagated" true (Cdcl.value s 4)
+
+(* Pigeonhole principle PHP(n+1, n): always unsat, requires real search. *)
+let pigeonhole pigeons holes =
+  let s = Cdcl.create () in
+  let var p h = (p * holes) + h + 1 in
+  for p = 0 to pigeons - 1 do
+    Cdcl.add_clause s (List.init holes (fun h -> var p h))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Cdcl.add_clause s [ -var p1 h; -var p2 h ]
+      done
+    done
+  done;
+  s
+
+let test_cdcl_pigeonhole () =
+  List.iter
+    (fun n ->
+      let s = pigeonhole (n + 1) n in
+      check bool_t (Printf.sprintf "php %d" n) true (Cdcl.solve s = Cdcl.Unsat))
+    [ 2; 3; 4; 5 ]
+
+let test_cdcl_pigeonhole_sat_when_fits () =
+  let s = pigeonhole 4 4 in
+  check bool_t "fits" true (Cdcl.solve s = Cdcl.Sat)
+
+let test_cdcl_assumptions () =
+  let s = Cdcl.create () in
+  Cdcl.add_clause s [ 1; 2 ];
+  Cdcl.add_clause s [ -1; 3 ];
+  check bool_t "sat under a=1" true (Cdcl.solve ~assumptions:[ 1 ] s = Cdcl.Sat);
+  check bool_t "3 implied" true (Cdcl.value s 3);
+  check bool_t "sat under -1" true (Cdcl.solve ~assumptions:[ -1 ] s = Cdcl.Sat);
+  check bool_t "2 implied" true (Cdcl.value s 2);
+  (* Conflicting assumptions *)
+  check bool_t "unsat under 1,-3" true
+    (Cdcl.solve ~assumptions:[ 1; -3 ] s = Cdcl.Unsat);
+  (* Solver is reusable after assumption-unsat. *)
+  check bool_t "still sat" true (Cdcl.solve s = Cdcl.Sat)
+
+let test_cdcl_incremental () =
+  let s = Cdcl.create () in
+  Cdcl.add_clause s [ 1; 2 ];
+  check bool_t "sat" true (Cdcl.solve s = Cdcl.Sat);
+  Cdcl.add_clause s [ -1 ];
+  check bool_t "still sat" true (Cdcl.solve s = Cdcl.Sat);
+  check bool_t "2 forced" true (Cdcl.value s 2);
+  Cdcl.add_clause s [ -2 ];
+  check bool_t "now unsat" true (Cdcl.solve s = Cdcl.Unsat);
+  (* Permanently unsat. *)
+  check bool_t "stays unsat" true (Cdcl.solve s = Cdcl.Unsat)
+
+let test_cdcl_budget () =
+  (* A hard pigeonhole with a one-conflict budget must return Unknown. *)
+  let s = pigeonhole 8 7 in
+  let outcome = Cdcl.solve ~budget:(Cdcl.budget_conflicts 1) s in
+  check bool_t "unknown" true (outcome = Cdcl.Unknown);
+  (* And with no budget it finishes. *)
+  check bool_t "finishes" true (Cdcl.solve s = Cdcl.Unsat)
+
+let test_cdcl_survives_db_reduction () =
+  (* A phase-transition instance with tens of thousands of conflicts drives
+     the learnt-clause database through several reductions; the model must
+     still satisfy every clause. *)
+  let rng = Random.State.make [| 42; 225 |] in
+  let f = Random_sat.fixed_length rng ~num_vars:225 ~num_clauses:967 ~k:3 in
+  let outcome, model, stats = Cdcl.solve_formula f in
+  check bool_t "enough conflicts to reduce" true (stats.Cdcl.conflicts > 2500);
+  match outcome, model with
+  | Cdcl.Sat, Some m -> check bool_t "model valid" true (model_satisfies f m)
+  | Cdcl.Unsat, None ->
+    (* if unsat, cross-check with DPLL on a shrunken... too slow; accept *)
+    ()
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let test_cdcl_stats_accumulate () =
+  let s = pigeonhole 5 4 in
+  ignore (Cdcl.solve s);
+  let st = Cdcl.stats s in
+  check bool_t "conflicts > 0" true (st.Cdcl.conflicts > 0);
+  check bool_t "decisions > 0" true (st.Cdcl.decisions > 0);
+  check bool_t "learned > 0" true (st.Cdcl.learned_clauses > 0)
+
+let test_cdcl_empty_clause_via_simplification () =
+  let s = Cdcl.create () in
+  Cdcl.add_clause s [ 1 ];
+  Cdcl.add_clause s [ -1; 2 ];
+  Cdcl.add_clause s [ -2 ];
+  check bool_t "unsat" true (Cdcl.solve s = Cdcl.Unsat)
+
+let test_cdcl_duplicate_and_tautology () =
+  let s = Cdcl.create () in
+  (* Tautological clause x | -x is dropped; duplicate literals collapse. *)
+  Cdcl.add_clause s [ 1; -1 ];
+  Cdcl.add_clause s [ 2; 2; 2 ];
+  check bool_t "sat" true (Cdcl.solve s = Cdcl.Sat);
+  check bool_t "2 true" true (Cdcl.value s 2)
+
+(* ------------------------------------------------------------------ *)
+(* DPLL                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dpll_trivial () =
+  let f = Formula.create () in
+  Formula.reserve f 2;
+  Formula.add_clause f [ 1; 2 ];
+  Formula.add_clause f [ -1 ];
+  let outcome, st = Dpll.solve f in
+  check bool_t "sat" true (outcome = Dpll.Sat);
+  check bool_t "used units" true (st.Dpll.unit_propagations > 0)
+
+let test_dpll_unsat () =
+  let f = Formula.create () in
+  Formula.reserve f 2;
+  Formula.add_clause f [ 1; 2 ];
+  Formula.add_clause f [ 1; -2 ];
+  Formula.add_clause f [ -1; 2 ];
+  Formula.add_clause f [ -1; -2 ];
+  let outcome, _ = Dpll.solve f in
+  check bool_t "unsat" true (outcome = Dpll.Unsat)
+
+let test_dpll_pure_literal () =
+  let f = Formula.create () in
+  Formula.reserve f 3;
+  Formula.add_clause f [ 1; 2 ];
+  Formula.add_clause f [ 1; 3 ];
+  let outcome, st = Dpll.solve f in
+  check bool_t "sat" true (outcome = Dpll.Sat);
+  check bool_t "purified" true (st.Dpll.pure_literals > 0)
+
+let test_dpll_abort () =
+  let rng = Random.State.make [| 5 |] in
+  let f = Random_sat.fixed_length rng ~num_vars:60 ~num_clauses:258 ~k:3 in
+  let outcome, st = Dpll.solve ~max_calls:3 f in
+  match outcome with
+  | Dpll.Aborted -> check bool_t "counted" true (st.Dpll.recursive_calls >= 3)
+  | Dpll.Sat | Dpll.Unsat ->
+    (* solved within 3 calls: acceptable, nothing to check *)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Random k-SAT + cross-checking                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_sat_shape () =
+  let rng = Random.State.make [| 1 |] in
+  let f = Random_sat.fixed_length rng ~num_vars:20 ~num_clauses:50 ~k:3 in
+  check int_t "clauses" 50 (Formula.num_clauses f);
+  check int_t "vars" 20 (Formula.num_vars f);
+  Fl_cnf.Formula.iter_clauses f (fun c ->
+      check int_t "k=3" 3 (Array.length c);
+      (* distinct variables in each clause *)
+      let vars = Array.map abs c in
+      Array.sort compare vars;
+      check bool_t "distinct" true (vars.(0) <> vars.(1) && vars.(1) <> vars.(2)))
+
+let test_phase_transition_shape () =
+  (* The paper's Fig. 1: the DPLL-calls curve must peak inside the 3..6
+     band, dominating both the under- and over-constrained regimes. *)
+  let rng = Random.State.make [| 9 |] in
+  let sweep =
+    Random_sat.ratio_sweep rng ~num_vars:36 ~k:3 ~ratios:[ 2.0; 4.3; 8.0 ]
+      ~samples:21
+  in
+  match sweep with
+  | [ (_, low, satfrac_low); (_, peak, _); (_, high, satfrac_high) ] ->
+    check bool_t "peak >= under-constrained" true (peak >= low);
+    check bool_t "peak >= over-constrained" true (peak >= high);
+    check bool_t "under-constrained mostly sat" true (satfrac_low > 0.8);
+    check bool_t "over-constrained mostly unsat" true (satfrac_high < 0.2)
+  | _ -> Alcotest.fail "sweep shape"
+
+(* ------------------------------------------------------------------ *)
+(* Properties: CDCL and DPLL agree with brute force                    *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let random_formula_gen =
+  QCheck2.Gen.(
+    let* num_vars = int_range 3 12 in
+    let* ratio_pct = int_range 100 700 in
+    let* seed = int_bound 1_000_000 in
+    return (num_vars, ratio_pct, seed))
+
+let make_formula (num_vars, ratio_pct, seed) =
+  let rng = Random.State.make [| seed |] in
+  let num_clauses = max 1 (num_vars * ratio_pct / 100) in
+  Random_sat.fixed_length rng ~num_vars ~num_clauses ~k:(min 3 num_vars)
+
+let prop_cdcl_correct =
+  qcheck_case ~count:200 "cdcl = brute force" random_formula_gen (fun params ->
+      let f = make_formula params in
+      let outcome, model, _ = Cdcl.solve_formula f in
+      match outcome, model with
+      | Cdcl.Sat, Some m -> brute_sat f && model_satisfies f m
+      | Cdcl.Unsat, None -> not (brute_sat f)
+      | _ -> false)
+
+let prop_dpll_correct =
+  qcheck_case ~count:150 "dpll = brute force" random_formula_gen (fun params ->
+      let f = make_formula params in
+      let outcome, _ = Dpll.solve f in
+      match outcome with
+      | Dpll.Sat -> brute_sat f
+      | Dpll.Unsat -> not (brute_sat f)
+      | Dpll.Aborted -> false)
+
+let prop_cdcl_dpll_agree =
+  qcheck_case ~count:100 "cdcl agrees with dpll" random_formula_gen (fun params ->
+      let f = make_formula params in
+      let c, _, _ = Cdcl.solve_formula f in
+      let d, _ = Dpll.solve f in
+      match c, d with
+      | Cdcl.Sat, Dpll.Sat | Cdcl.Unsat, Dpll.Unsat -> true
+      | _ -> false)
+
+let prop_cdcl_assumption_consistency =
+  (* If sat under assumption l, the model must satisfy l. *)
+  qcheck_case ~count:100 "assumption in model" random_formula_gen (fun params ->
+      let f = make_formula params in
+      let s = Cdcl.of_formula f in
+      match Cdcl.solve ~assumptions:[ 1 ] s with
+      | Cdcl.Sat -> Cdcl.value s 1
+      | Cdcl.Unsat ->
+        (* then adding the unit clause must also be unsat *)
+        Cdcl.add_clause s [ 1 ];
+        Cdcl.solve s = Cdcl.Unsat
+      | Cdcl.Unknown -> false)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "cdcl",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_cdcl_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_cdcl_trivial_unsat;
+          Alcotest.test_case "unit chain" `Quick test_cdcl_units_chain;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_cdcl_pigeonhole;
+          Alcotest.test_case "pigeonhole sat" `Quick test_cdcl_pigeonhole_sat_when_fits;
+          Alcotest.test_case "assumptions" `Quick test_cdcl_assumptions;
+          Alcotest.test_case "incremental" `Quick test_cdcl_incremental;
+          Alcotest.test_case "budget" `Quick test_cdcl_budget;
+          Alcotest.test_case "stats" `Quick test_cdcl_stats_accumulate;
+          Alcotest.test_case "db reduction" `Quick test_cdcl_survives_db_reduction;
+          Alcotest.test_case "level0 unsat" `Quick test_cdcl_empty_clause_via_simplification;
+          Alcotest.test_case "tautology" `Quick test_cdcl_duplicate_and_tautology;
+        ] );
+      ( "dpll",
+        [
+          Alcotest.test_case "trivial" `Quick test_dpll_trivial;
+          Alcotest.test_case "unsat" `Quick test_dpll_unsat;
+          Alcotest.test_case "pure literal" `Quick test_dpll_pure_literal;
+          Alcotest.test_case "abort" `Quick test_dpll_abort;
+        ] );
+      ( "random_sat",
+        [
+          Alcotest.test_case "shape" `Quick test_random_sat_shape;
+          Alcotest.test_case "phase transition" `Slow test_phase_transition_shape;
+        ] );
+      ( "properties",
+        [
+          prop_cdcl_correct;
+          prop_dpll_correct;
+          prop_cdcl_dpll_agree;
+          prop_cdcl_assumption_consistency;
+        ] );
+    ]
