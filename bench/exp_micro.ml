@@ -87,6 +87,85 @@ let all_tests =
        fig7_kernel ]
      @ substrate_kernels)
 
+(* Eval-throughput microbenchmark for the compiled-evaluator PR: scalar
+   uncached reference vs cached view vs word-level, plus the cold
+   build-a-view cost.  Emits BENCH_sim.json so the perf trajectory of the
+   simulation hot path is tracked across PRs. *)
+let sim_throughput () =
+  let name = "c432" in
+  let c = Bench_suite.load name in
+  let rng = Random.State.make [| 0x51b |] in
+  let inputs = Sim.random_vector rng (Fl_netlist.Circuit.num_inputs c) in
+  let packed_inputs =
+    Fl_netlist.Sim_word.random_words rng
+      ~width:(Fl_netlist.Circuit.num_inputs c)
+  in
+  (* Time [f] for at least [budget] seconds and return calls/second. *)
+  let rate ?(budget = 0.4) f =
+    for _ = 1 to 3 do f () done;
+    let calls = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let elapsed () = Unix.gettimeofday () -. t0 in
+    while elapsed () < budget do
+      f ();
+      incr calls
+    done;
+    float_of_int !calls /. elapsed ()
+  in
+  let uncached =
+    rate (fun () -> ignore (Sim.eval_reference c ~inputs ~keys:[||]))
+  in
+  let cached = rate (fun () -> ignore (Sim.eval c ~inputs ~keys:[||])) in
+  let word_passes =
+    rate (fun () ->
+        ignore (Fl_netlist.Sim_word.eval c ~inputs:packed_inputs ~keys:[||]))
+  in
+  (* Cold path: a physically fresh circuit forces a full view build on its
+     first evaluation. *)
+  let fresh = Array.init 24 (fun _ -> Bench_suite.load name) in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun c -> ignore (Sim.eval c ~inputs ~keys:[||]))
+    fresh;
+  let cold_first_eval_us =
+    (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int (Array.length fresh)
+  in
+  let lanes = Fl_netlist.Sim_word.lanes in
+  let speedup = cached /. uncached in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"circuit\": %S,\n\
+      \  \"gates\": %d,\n\
+      \  \"lanes\": %d,\n\
+      \  \"scalar_uncached_evals_per_sec\": %.1f,\n\
+      \  \"scalar_cached_evals_per_sec\": %.1f,\n\
+      \  \"word_passes_per_sec\": %.1f,\n\
+      \  \"word_vectors_per_sec\": %.1f,\n\
+      \  \"cold_first_eval_us\": %.1f,\n\
+      \  \"speedup_cached_vs_uncached\": %.2f\n\
+       }\n"
+      name
+      (Fl_netlist.Circuit.num_gates c)
+      lanes uncached cached word_passes
+      (word_passes *. float_of_int lanes)
+      cold_first_eval_us speedup
+  in
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc json;
+  close_out oc;
+  Tables.print ~title:"Simulation throughput (c432, evals/sec)"
+    [ "path"; "evals/sec" ]
+    [
+      [ "scalar, uncached reference"; Printf.sprintf "%.0f" uncached ];
+      [ "scalar, cached view"; Printf.sprintf "%.0f" cached ];
+      [ "word-level (x63 vectors)";
+        Printf.sprintf "%.0f" (word_passes *. float_of_int lanes) ];
+      [ "cold first eval (us)"; Printf.sprintf "%.1f" cold_first_eval_us ];
+      [ "speedup cached/uncached"; Printf.sprintf "%.2fx" speedup ];
+    ];
+  Printf.printf "wrote BENCH_sim.json\n%!"
+
 let run () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]

@@ -25,6 +25,7 @@ let experiments ~deep =
     "bdd", (fun () -> Exp_bdd.run ~deep ());
     "ablate", (fun () -> Exp_ablate.run ~deep ());
     "micro", (fun () -> Exp_micro.run ());
+    "sim", (fun () -> Exp_micro.sim_throughput ());
   ]
 
 let () =

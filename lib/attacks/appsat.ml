@@ -1,5 +1,6 @@
 module Circuit = Fl_netlist.Circuit
-module Sim = Fl_netlist.Sim
+module Sim_word = Fl_netlist.Sim_word
+module View = Fl_netlist.View
 module Locked = Fl_locking.Locked
 
 type result = {
@@ -12,21 +13,49 @@ type result = {
 }
 
 (* Error rate of a key candidate on random inputs; also returns the
-   disagreeing queries so they can reinforce the constraint set. *)
+   disagreeing queries so they can reinforce the constraint set.  Probes run
+   {!View.lanes} per word-sim pass; only disagreeing lanes are unpacked back
+   into scalar (inputs, outputs) observations. *)
 let estimate_error locked rng ~samples key =
+  let oracle_v = View.of_circuit locked.Locked.oracle in
+  let locked_v = View.of_circuit locked.Locked.locked in
   let n = Circuit.num_inputs locked.Locked.oracle in
+  let packed_key = View.broadcast key in
   let wrong = ref [] in
-  for _ = 1 to samples do
-    let inputs = Sim.random_vector rng n in
-    let reference = Locked.query_oracle locked inputs in
-    let agree =
-      match Locked.eval_locked locked ~key ~inputs with
-      | outputs -> outputs = reference
-      | exception Sim.Unresolved _ -> false
-    in
-    if not agree then wrong := (inputs, reference) :: !wrong
+  let wrong_count = ref 0 in
+  let remaining = ref samples in
+  while !remaining > 0 do
+    let used = min View.lanes !remaining in
+    remaining := !remaining - used;
+    let inputs = Sim_word.random_words rng ~width:n in
+    let reference = View.eval_words oracle_v ~inputs ~keys:[||] in
+    let out = View.eval_words locked_v ~inputs ~keys:packed_key in
+    let bad = ref 0 in
+    Array.iteri
+      (fun i wa ->
+        (* A lane disagrees when either side is undefined or the defined
+           values differ. *)
+        let wb = reference.(i) in
+        bad :=
+          !bad
+          lor lnot (wa.View.defined land wb.View.defined)
+          lor ((wa.View.value lxor wb.View.value)
+               land wa.View.defined land wb.View.defined))
+      out;
+    let mask = if used >= View.lanes then -1 else (1 lsl used) - 1 in
+    let bad = !bad land mask in
+    if bad <> 0 then
+      for l = 0 to used - 1 do
+        if bad land (1 lsl l) <> 0 then begin
+          incr wrong_count;
+          let bit w = w land (1 lsl l) <> 0 in
+          let iv = Array.map bit inputs in
+          let ov = Array.map (fun w -> bit w.View.value) reference in
+          wrong := (iv, ov) :: !wrong
+        end
+      done
   done;
-  float_of_int (List.length !wrong) /. float_of_int samples, !wrong
+  float_of_int !wrong_count /. float_of_int samples, !wrong
 
 let run ?(timeout = 60.0) ?(max_iterations = max_int) ?(settle_every = 4)
     ?(samples = 64) ?(error_threshold = 0.01) ?(seed = 0) locked =

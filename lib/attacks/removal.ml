@@ -1,6 +1,6 @@
 module Gate = Fl_netlist.Gate
 module Circuit = Fl_netlist.Circuit
-module Sim = Fl_netlist.Sim
+module View = Fl_netlist.View
 module Locked = Fl_locking.Locked
 
 type result = {
@@ -43,23 +43,12 @@ let run ?(vectors = 256) ?(seed = 11) locked =
   done;
   Array.iter (fun (port, id) -> Circuit.Builder.output b port map.(id)) c.Circuit.outputs;
   let stripped = Circuit.of_builder b in
-  (* Equivalence against the oracle: remaining key inputs are pinned to 0. *)
+  (* Equivalence against the oracle: remaining key inputs are pinned to 0.
+     Probing is the shared word-batched helper on the compiled views. *)
   let keys = Array.make (Circuit.num_keys stripped) false in
-  let n = Circuit.num_inputs stripped in
-  let agree inputs =
-    match Sim.eval stripped ~inputs ~keys with
-    | outputs -> outputs = Locked.query_oracle locked inputs
-    | exception Sim.Unresolved _ -> false
-  in
   let equivalent =
-    if n <= 12 then begin
-      let rec go v = v >= 1 lsl n || (agree (Sim.vector_of_int ~width:n v) && go (v + 1)) in
-      go 0
-    end
-    else begin
-      let rng = Random.State.make [| seed |] in
-      let rec go i = i >= vectors || (agree (Sim.random_vector rng n) && go (i + 1)) in
-      go 0
-    end
+    View.agree_on_probes ~exhaustive_limit:12 ~vectors ~seed
+      (View.of_circuit stripped) ~keys_a:keys
+      (View.of_circuit locked.Locked.oracle) ~keys_b:[||]
   in
   { stripped; removed_flip_gates = !flips; bypassed_mux_islands = !bypasses; equivalent }

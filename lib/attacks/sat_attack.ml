@@ -32,7 +32,8 @@ let run ?(timeout = 60.0) ?(max_iterations = max_int) ?(progress = fun _ _ -> ()
         (* Formal check when the locked netlist is acyclic; random-vector
            plus exhaustive-small simulation otherwise (cyclic CNF
            equivalence would be unsound). *)
-        if Circuit.is_acyclic locked.Locked.locked then
+        if Fl_netlist.View.is_acyclic (Fl_netlist.View.of_circuit locked.Locked.locked)
+        then
           Equiv.check_key
             ~budget:(Cdcl.budget_seconds (max 5.0 timeout))
             ~locked:locked.Locked.locked ~oracle:locked.Locked.oracle key

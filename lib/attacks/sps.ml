@@ -49,7 +49,7 @@ let probabilities c =
     | Gate.Input | Gate.Key_input -> 0.5
     | kind -> gate_probability kind (Array.map (fun f -> prob.(f)) nd.Circuit.fanins)
   in
-  (match Circuit.topological_order c with
+  (match Fl_netlist.View.topo_order (Fl_netlist.View.of_circuit c) with
    | Some order -> Array.iter (fun id -> prob.(id) <- eval id) order
    | None ->
      (* Damped fixpoint sweeps for cyclic circuits. *)

@@ -152,3 +152,29 @@ let route spec ?inverted perm =
      | Some pattern -> Cln.set_inversions spec key ~inverted:pattern);
     Some key
   end
+
+let route_verified ?(probes = 4) spec ?inverted perm =
+  match route spec ?inverted perm with
+  | None -> None
+  | Some key ->
+    let module View = Fl_netlist.View in
+    let view = View.of_circuit (Cln.standalone spec) in
+    let n = spec.Cln.n in
+    let packed_key = View.broadcast key in
+    let inv_word j =
+      match inverted with
+      | Some pattern when pattern.(j) -> -1
+      | _ -> 0
+    in
+    let rng = Random.State.make [| 0xc14; n |] in
+    for _ = 1 to probes do
+      let inputs = Fl_netlist.Sim_word.random_words rng ~width:n in
+      let out = View.eval_packed view ~inputs ~keys:packed_key in
+      Array.iteri
+        (fun j w ->
+          if w <> inputs.(perm.(j)) lxor inv_word j then
+            failwith "Coverage.route_verified: routed key failed simulation \
+                      cross-check")
+        out
+    done;
+    Some key

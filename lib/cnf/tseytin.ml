@@ -1,5 +1,6 @@
 module Gate = Fl_netlist.Gate
 module Circuit = Fl_netlist.Circuit
+module View = Fl_netlist.View
 
 type encoding = {
   node_var : int array;
@@ -108,14 +109,23 @@ let encode ?share_inputs ?share_keys f c =
   for id = 0 to n - 1 do
     if node_var.(id) = 0 then node_var.(id) <- Formula.fresh_var f
   done;
-  for id = 0 to n - 1 do
+  (* Gate clauses go out in topological order when acyclic (fanin-defining
+     clauses before their consumers helps unit propagation); variable
+     numbering above stays in id order either way. *)
+  let emit id =
     let nd = Circuit.node c id in
     match nd.Circuit.kind with
     | Gate.Input | Gate.Key_input -> ()
     | kind ->
       encode_gate f kind ~out:node_var.(id)
         ~fanins:(Array.map (fun fid -> node_var.(fid)) nd.Circuit.fanins)
-  done;
+  in
+  (match View.topo_order (View.of_circuit c) with
+   | Some order -> Array.iter emit order
+   | None ->
+     for id = 0 to n - 1 do
+       emit id
+     done);
   {
     node_var;
     input_vars = Array.map (fun id -> node_var.(id)) c.Circuit.inputs;

@@ -1,5 +1,6 @@
 module Circuit = Fl_netlist.Circuit
 module Sim = Fl_netlist.Sim
+module View = Fl_netlist.View
 
 type t = {
   locked : Circuit.t;
@@ -8,25 +9,18 @@ type t = {
   scheme : string;
 }
 
-let query_oracle t inputs = Sim.eval t.oracle ~inputs ~keys:[||]
-let eval_locked t ~key ~inputs = Sim.eval t.locked ~inputs ~keys:key
+(* Both circuits evaluate through their memoized compiled views; repeated
+   oracle queries (the SAT-attack hot path) pay no per-call analysis. *)
+let query_oracle t inputs =
+  View.eval (View.of_circuit t.oracle) ~inputs ~keys:[||]
 
-let key_matches ?(exhaustive_limit = 10) ?(vectors = 256) ?(seed = 7) t ~key =
-  let n = Circuit.num_inputs t.oracle in
-  let agree inputs =
-    match eval_locked t ~key ~inputs with
-    | outputs -> outputs = query_oracle t inputs
-    | exception Sim.Unresolved _ -> false
-  in
-  if n <= exhaustive_limit then begin
-    let rec go v = v >= 1 lsl n || (agree (Sim.vector_of_int ~width:n v) && go (v + 1)) in
-    go 0
-  end
-  else begin
-    let rng = Random.State.make [| seed |] in
-    let rec go i = i >= vectors || (agree (Sim.random_vector rng n) && go (i + 1)) in
-    go 0
-  end
+let eval_locked t ~key ~inputs =
+  View.eval (View.of_circuit t.locked) ~inputs ~keys:key
+
+let key_matches ?exhaustive_limit ?vectors ?seed t ~key =
+  View.agree_on_probes ?exhaustive_limit ?vectors ?seed
+    (View.of_circuit t.locked) ~keys_a:key
+    (View.of_circuit t.oracle) ~keys_b:[||]
 
 let verify ?exhaustive_limit ?vectors ?seed t =
   key_matches ?exhaustive_limit ?vectors ?seed t ~key:t.correct_key

@@ -251,7 +251,7 @@ let fanouts c =
     c.nodes;
   result
 
-let topological_order c =
+let compute_topological_order c =
   (* Kahn's algorithm; duplicate fanin edges are counted on both sides, which
      keeps the decrements symmetric. *)
   let n = Array.length c.nodes in
@@ -275,6 +275,26 @@ let topological_order c =
       fan_out.(id)
   done;
   if !filled = n then Some order else None
+
+(* Memoized per circuit physical identity (circuits are immutable).  The
+   ephemeron keys let cached orders die with their circuits.  Consumers must
+   treat the returned array as read-only — it is shared. *)
+module Topo_cache = Ephemeron.K1.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash c = Hashtbl.hash (Array.length c.nodes, c.name)
+end)
+
+let topo_cache : int array option Topo_cache.t = Topo_cache.create 64
+
+let topological_order c =
+  match Topo_cache.find_opt topo_cache c with
+  | Some r -> r
+  | None ->
+    let r = compute_topological_order c in
+    Topo_cache.replace topo_cache c r;
+    r
 
 let is_acyclic c = topological_order c <> None
 

@@ -111,8 +111,14 @@ val fanouts : t -> int array array
 (** {1 Structure} *)
 
 (** [topological_order c] is [Some order] (fanins before fanouts) when the
-    circuit is acyclic, [None] otherwise. *)
+    circuit is acyclic, [None] otherwise.  Memoized per circuit physical
+    identity; do not mutate the returned array. *)
 val topological_order : t -> int array option
+
+(** [compute_topological_order c] is {!topological_order} without the memo
+    table — a fresh O(N) sort per call.  Exists as the honest uncached
+    reference path for benchmarks and differential tests. *)
+val compute_topological_order : t -> int array option
 
 val is_acyclic : t -> bool
 

@@ -5,7 +5,14 @@ let to_string c =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape c.Circuit.name));
   Buffer.add_string buf "  rankdir=LR;\n  node [fontsize=10];\n";
-  for id = 0 to Circuit.num_nodes c - 1 do
+  (* Declaring nodes in topological order (when one exists) makes graphviz
+     lay ranks out left-to-right by logic level. *)
+  let order =
+    match View.topo_order (View.of_circuit c) with
+    | Some order -> order
+    | None -> Array.init (Circuit.num_nodes c) Fun.id
+  in
+  Array.iter (fun id ->
     let nd = Circuit.node c id in
     let shape, extra =
       match nd.Circuit.kind with
@@ -31,8 +38,8 @@ let to_string c =
           | _ -> ""
         in
         Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" f id attr))
-      nd.Circuit.fanins
-  done;
+      nd.Circuit.fanins)
+    order;
   Array.iter
     (fun (port, id) ->
       Buffer.add_string buf

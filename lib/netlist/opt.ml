@@ -14,7 +14,7 @@ let run c =
   let kinds = Array.init n (fun id -> (Circuit.node c id).Circuit.kind) in
   let fanins = Array.init n (fun id -> Array.copy (Circuit.node c id).Circuit.fanins) in
   (* Nodes on combinational cycles are left untouched. *)
-  let scc = Circuit.strongly_connected_components c in
+  let scc = View.scc (View.of_circuit c) in
   let scc_size = Hashtbl.create 16 in
   Array.iter
     (fun s -> Hashtbl.replace scc_size s (1 + Option.value ~default:0 (Hashtbl.find_opt scc_size s)))

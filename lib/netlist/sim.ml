@@ -1,8 +1,13 @@
-type tristate = V0 | V1 | VX
+type tristate = View.tristate = V0 | V1 | VX
 
-exception Unresolved of string
+exception Unresolved = View.Unresolved
 
 let tri_of_bool b = if b then V1 else V0
+
+(* The hot entry points below delegate to the compiled, memoized evaluator
+   in {!View}; the [_reference] variants keep the original interpretive
+   walk (re-sorting the circuit every call) as the uncached baseline for
+   differential tests and benchmarks. *)
 
 let check_widths c ~inputs ~keys =
   if Array.length inputs <> Circuit.num_inputs c then
@@ -57,7 +62,7 @@ let node_values c ~inputs ~keys =
     | Gate.Const b -> tri_of_bool b
     | kind -> eval_gate_tri kind (Array.map (fun f -> values.(f)) nd.Circuit.fanins)
   in
-  (match Circuit.topological_order c with
+  (match Circuit.compute_topological_order c with
    | Some order -> Array.iter (fun id -> values.(id) <- eval_node id) order
    | None ->
      (* Fixpoint iteration for cyclic circuits.  Values move monotonically
@@ -79,14 +84,12 @@ let node_values c ~inputs ~keys =
      done);
   values
 
-let eval_node_values c ~inputs ~keys = node_values c ~inputs ~keys
-
-let eval_tristate c ~inputs ~keys =
+let eval_tristate_reference c ~inputs ~keys =
   let values = node_values c ~inputs ~keys in
   Array.map (fun (_, id) -> values.(id)) c.Circuit.outputs
 
-let eval c ~inputs ~keys =
-  let out = eval_tristate c ~inputs ~keys in
+let eval_reference c ~inputs ~keys =
+  let out = eval_tristate_reference c ~inputs ~keys in
   Array.mapi
     (fun i v ->
       match v with
@@ -96,6 +99,14 @@ let eval c ~inputs ~keys =
         let port, _ = c.Circuit.outputs.(i) in
         raise (Unresolved port))
     out
+
+let eval_node_values c ~inputs ~keys =
+  View.eval_node_values (View.of_circuit c) ~inputs ~keys
+
+let eval_tristate c ~inputs ~keys =
+  View.eval_tristate (View.of_circuit c) ~inputs ~keys
+
+let eval c ~inputs ~keys = View.eval (View.of_circuit c) ~inputs ~keys
 
 let vector_of_int ~width v = Array.init width (fun i -> v land (1 lsl i) <> 0)
 
@@ -108,20 +119,22 @@ let random_vector rng width = Array.init width (fun _ -> Random.State.bool rng)
 
 let settles ?(probes = 8) ?(seed = 0) c ~keys =
   let rng = Random.State.make [| seed |] in
+  let v = View.of_circuit c in
   let width = Circuit.num_inputs c in
   let rec go i =
     if i >= probes then true
     else
       let inputs = random_vector rng width in
-      let out = eval_tristate c ~inputs ~keys in
-      if Array.exists (fun v -> v = VX) out then false else go (i + 1)
+      let out = View.eval_tristate v ~inputs ~keys in
+      if Array.exists (fun x -> x = VX) out then false else go (i + 1)
   in
   go 0
 
 let equal_on_vectors a b ~keys_a ~keys_b ~vectors =
+  let va = View.of_circuit a and vb = View.of_circuit b in
   List.for_all
     (fun inputs ->
-      try eval a ~inputs ~keys:keys_a = eval b ~inputs ~keys:keys_b
+      try View.eval va ~inputs ~keys:keys_a = View.eval vb ~inputs ~keys:keys_b
       with Unresolved _ -> false)
     vectors
 

@@ -3,13 +3,20 @@
     Acyclic circuits are evaluated in topological order.  Cyclic circuits
     (produced by cyclic PLR insertion) are evaluated with three-valued
     (0/1/X) fixpoint iteration: with a key that functionally opens every
-    cycle, all outputs resolve to 0/1. *)
+    cycle, all outputs resolve to 0/1.
 
-(** Three-valued logic value. *)
-type tristate = V0 | V1 | VX
+    This module is a thin wrapper over {!View}: evaluation goes through the
+    per-circuit compiled evaluator, memoized by circuit physical identity.
+    The [_reference] entry points keep the original interpretive walk (a
+    fresh topological sort every call) as the uncached baseline for
+    differential tests and benchmarks. *)
+
+(** Three-valued logic value (re-export of {!View.tristate}). *)
+type tristate = View.tristate = V0 | V1 | VX
 
 exception Unresolved of string
-(** Raised by {!eval} when a cyclic circuit leaves an output at X. *)
+(** Raised by {!eval} when a cyclic circuit leaves an output at X
+    (re-export of {!View.Unresolved}). *)
 
 (** [eval c ~inputs ~keys] is the output vector (in [c.outputs] order).
     @raise Invalid_argument on input/key length mismatch.
@@ -24,6 +31,18 @@ val eval_tristate :
 (** [eval_node_values c ~inputs ~keys] is the settled value of every node
     (id-indexed), for attacks that observe internal wires. *)
 val eval_node_values :
+  Circuit.t -> inputs:bool array -> keys:bool array -> tristate array
+
+(** {1 Uncached reference paths}
+
+    Semantically identical to {!eval}/{!eval_tristate} but interpretive and
+    unmemoized (each call pays a fresh topological sort).  Used by the
+    equivalence property tests and the throughput benchmark. *)
+
+val eval_reference :
+  Circuit.t -> inputs:bool array -> keys:bool array -> bool array
+
+val eval_tristate_reference :
   Circuit.t -> inputs:bool array -> keys:bool array -> tristate array
 
 (** [settles c ~keys] is whether a random-probe of the circuit under [keys]

@@ -1,6 +1,6 @@
 let lanes = Sys.int_size
 
-type word = { defined : int; value : int }
+type word = View.word = { defined : int; value : int }
 
 let all_ones = -1
 let undefined = { defined = 0; value = 0 }
@@ -73,7 +73,10 @@ let eval_gate kind ws =
   | Gate.Mux -> word_mux ws.(0) ws.(1) ws.(2)
   | Gate.Lut tt -> word_lut tt ws
 
-let eval_tristate ?(override = fun _ -> None) c ~inputs ~keys =
+(* The interpretive walk survives only for the [override] path (fault
+   injection forces arbitrary node words, which the compiled evaluator does
+   not model); the plain path runs on the shared {!View} backend. *)
+let eval_tristate_override ~override c ~inputs ~keys =
   if Array.length inputs <> Circuit.num_inputs c then
     invalid_arg "Sim_word: input width mismatch";
   if Array.length keys <> Circuit.num_keys c then
@@ -125,14 +128,12 @@ let eval_tristate ?(override = fun _ -> None) c ~inputs ~keys =
      done);
   Array.map (fun (_, id) -> values.(id)) c.Circuit.outputs
 
-let eval c ~inputs ~keys =
-  let out = eval_tristate c ~inputs ~keys in
-  Array.mapi
-    (fun i w ->
-      if w.defined <> all_ones then
-        raise (Sim.Unresolved (fst c.Circuit.outputs.(i)))
-      else w.value)
-    out
+let eval_tristate ?override c ~inputs ~keys =
+  match override with
+  | Some override -> eval_tristate_override ~override c ~inputs ~keys
+  | None -> View.eval_words (View.of_circuit c) ~inputs ~keys
+
+let eval c ~inputs ~keys = View.eval_packed (View.of_circuit c) ~inputs ~keys
 
 let pack vectors =
   match vectors with

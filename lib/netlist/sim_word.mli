@@ -10,9 +10,9 @@
 (** Number of parallel lanes (= [Sys.int_size], 63 on 64-bit systems). *)
 val lanes : int
 
-type word = { defined : int; value : int }
+type word = View.word = { defined : int; value : int }
 (** Per-wire lane bundle; bit [i] of [value] is meaningful only when bit [i]
-    of [defined] is set. *)
+    of [defined] is set (re-export of {!View.word}). *)
 
 (** [eval_tristate c ~inputs ~keys] — packed counterpart of
     {!Sim.eval_tristate}; input/key words are treated as fully defined.

@@ -1,0 +1,451 @@
+type tristate = V0 | V1 | VX
+
+exception Unresolved of string
+
+type word = { defined : int; value : int }
+
+let lanes = Sys.int_size
+let all_ones = -1
+
+(* One immediate opcode per node; [aux] carries the constant bit or the LUT
+   table index, fanins live in one flat array sliced by [fanin_off]. *)
+type opcode =
+  | Onop  (* inputs and key inputs: values are loaded, never computed *)
+  | Oconst
+  | Obuf
+  | Onot
+  | Oand
+  | Onand
+  | Oor
+  | Onor
+  | Oxor
+  | Oxnor
+  | Omux
+  | Olut
+
+type t = {
+  circuit : Circuit.t;
+  topo : int array option;
+  order : int array;  (* evaluation order: topo if acyclic, ids otherwise *)
+  op : opcode array;
+  aux : int array;
+  fanin_off : int array;  (* length n+1, offsets into fanin_flat *)
+  fanin_flat : int array;
+  luts : bool array array;
+  (* Scratch value arrays, reused by every evaluation (zero per-eval
+     allocation on the per-node path).  Bit i of value.(id) is meaningful
+     only when bit i of defined.(id) is set. *)
+  defined : int array;
+  value : int array;
+  mutable fanouts_memo : int array array option;
+  mutable levels_memo : int array option option;
+  mutable scc_memo : int array option;
+}
+
+let circuit v = v.circuit
+let topo_order v = v.topo
+let is_acyclic v = v.topo <> None
+
+let build c =
+  let n = Circuit.num_nodes c in
+  let topo = Circuit.topological_order c in
+  let order = match topo with Some o -> o | None -> Array.init n Fun.id in
+  let op = Array.make n Onop in
+  let aux = Array.make n 0 in
+  let fanin_off = Array.make (n + 1) 0 in
+  let total = ref 0 in
+  for id = 0 to n - 1 do
+    fanin_off.(id) <- !total;
+    total := !total + Array.length (Circuit.node c id).Circuit.fanins
+  done;
+  fanin_off.(n) <- !total;
+  let fanin_flat = Array.make (max 1 !total) 0 in
+  let luts = ref [] in
+  let num_luts = ref 0 in
+  for id = 0 to n - 1 do
+    let nd = Circuit.node c id in
+    Array.blit nd.Circuit.fanins 0 fanin_flat fanin_off.(id)
+      (Array.length nd.Circuit.fanins);
+    op.(id) <-
+      (match nd.Circuit.kind with
+       | Gate.Input | Gate.Key_input -> Onop
+       | Gate.Const b ->
+         aux.(id) <- (if b then 1 else 0);
+         Oconst
+       | Gate.Buf -> Obuf
+       | Gate.Not -> Onot
+       | Gate.And -> Oand
+       | Gate.Nand -> Onand
+       | Gate.Or -> Oor
+       | Gate.Nor -> Onor
+       | Gate.Xor -> Oxor
+       | Gate.Xnor -> Oxnor
+       | Gate.Mux -> Omux
+       | Gate.Lut tt ->
+         aux.(id) <- !num_luts;
+         incr num_luts;
+         luts := Array.copy tt :: !luts;
+         Olut)
+  done;
+  {
+    circuit = c;
+    topo;
+    order;
+    op;
+    aux;
+    fanin_off;
+    fanin_flat;
+    luts = Array.of_list (List.rev !luts);
+    defined = Array.make n 0;
+    value = Array.make n 0;
+    fanouts_memo = None;
+    levels_memo = None;
+    scc_memo = None;
+  }
+
+(* Views are memoized per circuit physical identity (circuits are
+   immutable); the ephemeron keys let views die with their circuits. *)
+module Cache = Ephemeron.K1.Make (struct
+  type t = Circuit.t
+
+  let equal = ( == )
+  let hash c = Hashtbl.hash (Circuit.num_nodes c, c.Circuit.name)
+end)
+
+let cache : t Cache.t = Cache.create 64
+
+let of_circuit c =
+  match Cache.find_opt cache c with
+  | Some v -> v
+  | None ->
+    let v = build c in
+    Cache.replace cache c v;
+    v
+
+(* ------------------------------------------------------------------ *)
+(* Cached structural analyses                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fanouts v =
+  match v.fanouts_memo with
+  | Some f -> f
+  | None ->
+    let f = Circuit.fanouts v.circuit in
+    v.fanouts_memo <- Some f;
+    f
+
+let scc v =
+  match v.scc_memo with
+  | Some s -> s
+  | None ->
+    let s = Circuit.strongly_connected_components v.circuit in
+    v.scc_memo <- Some s;
+    s
+
+let levels v =
+  match v.levels_memo with
+  | Some r -> r
+  | None ->
+    let r =
+      match v.topo with
+      | None -> None
+      | Some order ->
+        let c = v.circuit in
+        let lv = Array.make (Circuit.num_nodes c) 0 in
+        Array.iter
+          (fun id ->
+            let fanins = (Circuit.node c id).Circuit.fanins in
+            if Array.length fanins > 0 then begin
+              let m = Array.fold_left (fun acc f -> max acc lv.(f)) 0 fanins in
+              lv.(id) <- m + 1
+            end)
+          order;
+        Some lv
+    in
+    v.levels_memo <- Some r;
+    r
+
+let depth v = Option.map (Array.fold_left max 0) (levels v)
+let cone_of_influence v id = Circuit.transitive_fanin v.circuit id
+
+(* ------------------------------------------------------------------ *)
+(* Compiled evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate node [id] (Kleene strong three-valued connectives, bit-parallel)
+   and merge the newly defined lanes into the scratch arrays; previously
+   settled lanes keep their values, which makes a single forward pass and a
+   cyclic fixpoint sweep the same code.  Returns the mask of lanes that
+   became defined. *)
+let step v id =
+  let d = v.defined and vl = v.value in
+  let off = v.fanin_off.(id) in
+  let nd = ref 0 and nv = ref 0 in
+  (match v.op.(id) with
+   | Onop -> ()
+   | Oconst ->
+     nd := all_ones;
+     nv := (if v.aux.(id) = 1 then all_ones else 0)
+   | Obuf ->
+     let f = v.fanin_flat.(off) in
+     nd := d.(f);
+     nv := vl.(f)
+   | Onot ->
+     let f = v.fanin_flat.(off) in
+     nd := d.(f);
+     nv := lnot vl.(f)
+   | Oand | Onand ->
+     (* Defined where all operands are, or where some operand is a defined
+        0; undefined operands cannot force 0. *)
+     let last = v.fanin_off.(id + 1) - 1 in
+     let all_def = ref all_ones and forced0 = ref 0 and acc = ref all_ones in
+     for i = off to last do
+       let f = v.fanin_flat.(i) in
+       let fd = d.(f) and fv = vl.(f) in
+       all_def := !all_def land fd;
+       forced0 := !forced0 lor (fd land lnot fv);
+       acc := !acc land (fv lor lnot fd)
+     done;
+     nd := !all_def lor !forced0;
+     nv := (if v.op.(id) = Onand then lnot !acc else !acc)
+   | Oor | Onor ->
+     let last = v.fanin_off.(id + 1) - 1 in
+     let all_def = ref all_ones and forced1 = ref 0 and acc = ref 0 in
+     for i = off to last do
+       let f = v.fanin_flat.(i) in
+       let fd = d.(f) and fv = vl.(f) in
+       all_def := !all_def land fd;
+       forced1 := !forced1 lor (fd land fv);
+       acc := !acc lor (fv land fd)
+     done;
+     nd := !all_def lor !forced1;
+     nv := (if v.op.(id) = Onor then lnot !acc else !acc)
+   | Oxor | Oxnor ->
+     let last = v.fanin_off.(id + 1) - 1 in
+     let all_def = ref all_ones and acc = ref 0 in
+     for i = off to last do
+       let f = v.fanin_flat.(i) in
+       all_def := !all_def land d.(f);
+       acc := !acc lxor vl.(f)
+     done;
+     nd := !all_def;
+     nv := (if v.op.(id) = Oxnor then lnot !acc else !acc)
+   | Omux ->
+     (* Defined where the select is defined and the chosen branch is, or
+        where both branches agree while defined (an undefined select picks
+        either). *)
+     let s = v.fanin_flat.(off)
+     and a = v.fanin_flat.(off + 1)
+     and b = v.fanin_flat.(off + 2) in
+     let sd = d.(s) and sv = vl.(s) in
+     let ad = d.(a) and av = vl.(a) in
+     let bd = d.(b) and bv = vl.(b) in
+     let chosen = sd land ((sv land bd) lor (lnot sv land ad)) in
+     let agree = ad land bd land lnot (av lxor bv) in
+     nd := chosen lor agree;
+     nv := (sv land bv) lor (lnot sv land av)
+   | Olut ->
+     (* Conservative definedness: all address bits defined. *)
+     let tt = v.luts.(v.aux.(id)) in
+     let k = v.fanin_off.(id + 1) - off in
+     let all_def = ref all_ones in
+     for i = off to off + k - 1 do
+       all_def := !all_def land d.(v.fanin_flat.(i))
+     done;
+     let acc = ref 0 in
+     Array.iteri
+       (fun row set ->
+         if set then begin
+           let m = ref all_ones in
+           for j = 0 to k - 1 do
+             let fv = vl.(v.fanin_flat.(off + j)) in
+             m := !m land (if row land (1 lsl j) <> 0 then fv else lnot fv)
+           done;
+           acc := !acc lor !m
+         end)
+       tt;
+     nd := !all_def;
+     nv := !acc);
+  let keep = d.(id) in
+  let fresh = !nd land lnot keep in
+  if fresh <> 0 then begin
+    vl.(id) <- (vl.(id) land keep) lor (!nv land lnot keep);
+    d.(id) <- keep lor !nd
+  end;
+  fresh
+
+let check_widths v ~inputs ~keys =
+  let c = v.circuit in
+  if inputs <> Circuit.num_inputs c then
+    invalid_arg
+      (Printf.sprintf "View: expected %d inputs, got %d" (Circuit.num_inputs c)
+         inputs);
+  if keys <> Circuit.num_keys c then
+    invalid_arg
+      (Printf.sprintf "View: expected %d key bits, got %d" (Circuit.num_keys c)
+         keys)
+
+let reset v =
+  let n = Array.length v.defined in
+  Array.fill v.defined 0 n 0;
+  Array.fill v.value 0 n 0
+
+let run v =
+  match v.topo with
+  | Some order -> Array.iter (fun id -> ignore (step v id)) order
+  | None ->
+    (* Monotone fixpoint: definedness only grows, settled lanes are stable,
+       so at most n sweeps are needed; in practice a handful. *)
+    let n = Array.length v.order in
+    let changed = ref true in
+    let sweeps = ref 0 in
+    while !changed && !sweeps <= n do
+      changed := false;
+      incr sweeps;
+      for i = 0 to n - 1 do
+        if step v v.order.(i) <> 0 then changed := true
+      done
+    done
+
+let run_packed v ~inputs ~keys =
+  check_widths v ~inputs:(Array.length inputs) ~keys:(Array.length keys);
+  reset v;
+  let c = v.circuit in
+  Array.iteri
+    (fun i id ->
+      v.defined.(id) <- all_ones;
+      v.value.(id) <- inputs.(i))
+    c.Circuit.inputs;
+  Array.iteri
+    (fun i id ->
+      v.defined.(id) <- all_ones;
+      v.value.(id) <- keys.(i))
+    c.Circuit.keys;
+  run v
+
+let run_bools v ~inputs ~keys =
+  check_widths v ~inputs:(Array.length inputs) ~keys:(Array.length keys);
+  reset v;
+  let c = v.circuit in
+  Array.iteri
+    (fun i id ->
+      v.defined.(id) <- all_ones;
+      v.value.(id) <- (if inputs.(i) then all_ones else 0))
+    c.Circuit.inputs;
+  Array.iteri
+    (fun i id ->
+      v.defined.(id) <- all_ones;
+      v.value.(id) <- (if keys.(i) then all_ones else 0))
+    c.Circuit.keys;
+  run v
+
+let tristate_of v id =
+  if v.defined.(id) land 1 = 0 then VX
+  else if v.value.(id) land 1 = 1 then V1
+  else V0
+
+let eval_tristate v ~inputs ~keys =
+  run_bools v ~inputs ~keys;
+  Array.map (fun (_, id) -> tristate_of v id) v.circuit.Circuit.outputs
+
+let eval v ~inputs ~keys =
+  run_bools v ~inputs ~keys;
+  Array.map
+    (fun (port, id) ->
+      if v.defined.(id) land 1 = 0 then raise (Unresolved port)
+      else v.value.(id) land 1 = 1)
+    v.circuit.Circuit.outputs
+
+let eval_node_values v ~inputs ~keys =
+  run_bools v ~inputs ~keys;
+  Array.init (Circuit.num_nodes v.circuit) (tristate_of v)
+
+let eval_words v ~inputs ~keys =
+  run_packed v ~inputs ~keys;
+  Array.map
+    (fun (_, id) -> { defined = v.defined.(id); value = v.value.(id) })
+    v.circuit.Circuit.outputs
+
+let eval_packed v ~inputs ~keys =
+  run_packed v ~inputs ~keys;
+  Array.map
+    (fun (port, id) ->
+      if v.defined.(id) <> all_ones then raise (Unresolved port)
+      else v.value.(id))
+    v.circuit.Circuit.outputs
+
+let broadcast bits = Array.map (fun b -> if b then all_ones else 0) bits
+
+(* ------------------------------------------------------------------ *)
+(* Key-correctness probing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let random_word rng =
+  (* int_size random bits from two 30-bit draws and one top-slice draw. *)
+  Random.State.bits rng
+  lor (Random.State.bits rng lsl 30)
+  lor (Random.State.bits rng lsl 60)
+
+(* Outputs of the two views (already evaluated) agree on every lane of
+   [mask]; an undefined lane on either side is a disagreement. *)
+let outputs_agree va vb mask =
+  let oa = va.circuit.Circuit.outputs and ob = vb.circuit.Circuit.outputs in
+  let bad = ref 0 in
+  Array.iteri
+    (fun i (_, ida) ->
+      let _, idb = ob.(i) in
+      let def = va.defined.(ida) land vb.defined.(idb) in
+      bad :=
+        !bad lor lnot def
+        lor ((va.value.(ida) lxor vb.value.(idb)) land def))
+    oa;
+  !bad land mask = 0
+
+let agree_on_probes ?(exhaustive_limit = 10) ?(vectors = 256) ?(seed = 7) va
+    ~keys_a vb ~keys_b =
+  let n = Circuit.num_inputs va.circuit in
+  if Circuit.num_inputs vb.circuit <> n then
+    invalid_arg "View.agree_on_probes: input counts differ";
+  if Array.length (va.circuit.Circuit.outputs)
+     <> Array.length (vb.circuit.Circuit.outputs)
+  then invalid_arg "View.agree_on_probes: output counts differ";
+  let ka = broadcast keys_a and kb = broadcast keys_b in
+  let inputs = Array.make n 0 in
+  let probe used =
+    let mask = if used >= lanes then all_ones else (1 lsl used) - 1 in
+    run_packed va ~inputs ~keys:ka;
+    (* va's scratch arrays survive vb's evaluation: each view owns its
+       buffers. *)
+    run_packed vb ~inputs ~keys:kb;
+    outputs_agree va vb mask
+  in
+  if n <= exhaustive_limit then begin
+    let space = 1 lsl n in
+    let rec go base =
+      base >= space
+      ||
+      let used = min lanes (space - base) in
+      for j = 0 to n - 1 do
+        let w = ref 0 in
+        for l = 0 to used - 1 do
+          if (base + l) land (1 lsl j) <> 0 then w := !w lor (1 lsl l)
+        done;
+        inputs.(j) <- !w
+      done;
+      probe used && go (base + used)
+    in
+    go 0
+  end
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let rec go remaining =
+      remaining <= 0
+      ||
+      let used = min lanes remaining in
+      for j = 0 to n - 1 do
+        inputs.(j) <- random_word rng
+      done;
+      probe used && go (remaining - used)
+    in
+    go vectors
+  end

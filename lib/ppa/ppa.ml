@@ -36,24 +36,45 @@ let of_circuit ?(library = Cell_library.generic_32nm) ?(use_stt_luts = true) c =
   in
   let area = Array.fold_left (fun acc k -> acc +. k.Cell_library.area_um2) 0.0 costs in
   let power = Array.fold_left (fun acc k -> acc +. k.Cell_library.power_nw) 0.0 costs in
-  (* Longest-path delay; gray-node detection skips cycle back edges. *)
-  let memo = Array.make n nan in
-  let color = Array.make n 0 in
-  let rec arrival id =
-    if color.(id) = 1 then 0.0 (* on the current DFS path: skip the back edge *)
-    else if not (Float.is_nan memo.(id)) then memo.(id)
-    else begin
-      color.(id) <- 1;
-      let nd = Circuit.node c id in
-      let best = Array.fold_left (fun acc f -> Float.max acc (arrival f)) 0.0 nd.Circuit.fanins in
-      color.(id) <- 2;
-      let v = best +. costs.(id).Cell_library.delay_ns in
-      memo.(id) <- v;
-      v
-    end
-  in
+  (* Longest-path delay.  Acyclic circuits use one pass over the view's
+     cached topological order; cyclic ones fall back to a DFS whose
+     gray-node detection skips cycle back edges. *)
   let delay =
-    Array.fold_left (fun acc (_, id) -> Float.max acc (arrival id)) 0.0 c.Circuit.outputs
+    match Fl_netlist.View.topo_order (Fl_netlist.View.of_circuit c) with
+    | Some order ->
+      let arr = Array.make n 0.0 in
+      Array.iter
+        (fun id ->
+          let nd = Circuit.node c id in
+          let best =
+            Array.fold_left (fun acc f -> Float.max acc arr.(f)) 0.0
+              nd.Circuit.fanins
+          in
+          arr.(id) <- best +. costs.(id).Cell_library.delay_ns)
+        order;
+      Array.fold_left (fun acc (_, id) -> Float.max acc arr.(id)) 0.0
+        c.Circuit.outputs
+    | None ->
+      let memo = Array.make n nan in
+      let color = Array.make n 0 in
+      let rec arrival id =
+        if color.(id) = 1 then 0.0 (* on the current DFS path: skip the back edge *)
+        else if not (Float.is_nan memo.(id)) then memo.(id)
+        else begin
+          color.(id) <- 1;
+          let nd = Circuit.node c id in
+          let best =
+            Array.fold_left (fun acc f -> Float.max acc (arrival f)) 0.0
+              nd.Circuit.fanins
+          in
+          color.(id) <- 2;
+          let v = best +. costs.(id).Cell_library.delay_ns in
+          memo.(id) <- v;
+          v
+        end
+      in
+      Array.fold_left (fun acc (_, id) -> Float.max acc (arrival id)) 0.0
+        c.Circuit.outputs
   in
   { area_um2 = area; power_nw = power; delay_ns = delay }
 

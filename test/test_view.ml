@@ -1,0 +1,337 @@
+(* Tests for Fl_netlist.View: the compiled evaluator must be observationally
+   identical to the interpretive reference simulators, on acyclic and cyclic
+   circuits alike, and the per-circuit memoization must hold. *)
+
+module Gate = Fl_netlist.Gate
+module Circuit = Fl_netlist.Circuit
+module Sim = Fl_netlist.Sim
+module Sim_word = Fl_netlist.Sim_word
+module View = Fl_netlist.View
+module Generator = Fl_netlist.Generator
+module Bench_suite = Fl_netlist.Bench_suite
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let qcheck_case ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit generators                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let acyclic_of ~seed =
+  let profile =
+    {
+      Generator.num_inputs = 3 + (seed mod 6);
+      num_outputs = 1 + (seed mod 3);
+      num_gates = 15 + (seed mod 60);
+      max_fanin = 2 + (seed mod 3);
+      and_bias = 0.7;
+    }
+  in
+  Generator.random ~seed ~name:"view-prop" profile
+
+(* A random circuit whose declared gates pick fanins from the whole id
+   space, so combinational cycles (and self-loops) appear freely.  Exercises
+   every gate kind the compiled evaluator handles, including LUTs and
+   constants. *)
+let random_cyclic ~seed =
+  let rng = Random.State.make [| seed; 0xc1c |] in
+  let b = Circuit.Builder.create ~name:(Printf.sprintf "cyc%d" seed) () in
+  let num_inputs = 2 + Random.State.int rng 3 in
+  let num_keys = 1 + Random.State.int rng 2 in
+  let num_gates = 8 + Random.State.int rng 25 in
+  let ids = ref [] in
+  for _ = 1 to num_inputs do
+    ids := Circuit.Builder.input b :: !ids
+  done;
+  for _ = 1 to num_keys do
+    ids := Circuit.Builder.key_input b :: !ids
+  done;
+  ids := Circuit.Builder.add b (Gate.Const (Random.State.bool rng)) [||] :: !ids;
+  let declared = ref [] in
+  for _ = 1 to num_gates do
+    let kind =
+      match Random.State.int rng 12 with
+      | 0 -> Gate.Buf
+      | 1 -> Gate.Not
+      | 2 -> Gate.And
+      | 3 -> Gate.Nand
+      | 4 -> Gate.Or
+      | 5 -> Gate.Nor
+      | 6 -> Gate.Xor
+      | 7 -> Gate.Xnor
+      | 8 | 9 -> Gate.Mux
+      | _ ->
+        let k = 1 + Random.State.int rng 3 in
+        Gate.Lut (Array.init (1 lsl k) (fun _ -> Random.State.bool rng))
+    in
+    let id = Circuit.Builder.declare b kind in
+    declared := (id, kind) :: !declared;
+    ids := id :: !ids
+  done;
+  let all = Array.of_list !ids in
+  let pick () = all.(Random.State.int rng (Array.length all)) in
+  List.iter
+    (fun (id, kind) ->
+      let arity =
+        match kind with
+        | Gate.Buf | Gate.Not -> 1
+        | Gate.Mux -> 3
+        | Gate.Lut tt ->
+          let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+          log2 (Array.length tt)
+        | _ -> 2 + Random.State.int rng 2
+      in
+      Circuit.Builder.set_fanins b id (Array.init arity (fun _ -> pick ())))
+    !declared;
+  let gate_ids = Array.of_list (List.map fst !declared) in
+  let num_outputs = 1 + Random.State.int rng 3 in
+  for i = 0 to num_outputs - 1 do
+    Circuit.Builder.output b
+      (Printf.sprintf "y%d" i)
+      gate_ids.(Random.State.int rng (Array.length gate_ids))
+  done;
+  Circuit.of_builder b
+
+let random_stim rng c =
+  ( Sim.random_vector rng (Circuit.num_inputs c),
+    Sim.random_vector rng (Circuit.num_keys c) )
+
+(* ------------------------------------------------------------------ *)
+(* Compiled evaluator = reference simulator                            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_acyclic_matches_reference =
+  let gen = QCheck2.Gen.(pair (int_bound 10_000) (int_bound 10_000)) in
+  qcheck_case "acyclic: view = reference" gen (fun (seed, stim_seed) ->
+      let c = acyclic_of ~seed in
+      let rng = Random.State.make [| stim_seed |] in
+      let inputs, keys = random_stim rng c in
+      Sim.eval c ~inputs ~keys = Sim.eval_reference c ~inputs ~keys
+      && Sim.eval_tristate c ~inputs ~keys
+         = Sim.eval_tristate_reference c ~inputs ~keys)
+
+let prop_cyclic_matches_reference =
+  let gen = QCheck2.Gen.(pair (int_bound 10_000) (int_bound 10_000)) in
+  qcheck_case "cyclic: view fixpoint = reference fixpoint" gen
+    (fun (seed, stim_seed) ->
+      let c = random_cyclic ~seed in
+      let rng = Random.State.make [| stim_seed |] in
+      let inputs, keys = random_stim rng c in
+      let via_view = Sim.eval_tristate c ~inputs ~keys in
+      let reference = Sim.eval_tristate_reference c ~inputs ~keys in
+      let strict_agree =
+        match Sim.eval c ~inputs ~keys with
+        | outputs -> (
+          match Sim.eval_reference c ~inputs ~keys with
+          | ref_outputs -> outputs = ref_outputs
+          | exception Sim.Unresolved _ -> false)
+        | exception Sim.Unresolved _ -> (
+          match Sim.eval_reference c ~inputs ~keys with
+          | _ -> false
+          | exception Sim.Unresolved _ -> true)
+      in
+      via_view = reference && strict_agree)
+
+let prop_word_lane_zero_matches_scalar =
+  (* Broadcast words through the view: lane 0 must reproduce the scalar
+     tristate result, on cyclic circuits included. *)
+  let gen = QCheck2.Gen.(pair (int_bound 10_000) (int_bound 10_000)) in
+  qcheck_case "word lane 0 = scalar" gen (fun (seed, stim_seed) ->
+      let c =
+        if seed land 1 = 0 then acyclic_of ~seed else random_cyclic ~seed
+      in
+      let rng = Random.State.make [| stim_seed; 1 |] in
+      let inputs, keys = random_stim rng c in
+      let words =
+        Sim_word.eval_tristate c ~inputs:(View.broadcast inputs)
+          ~keys:(View.broadcast keys)
+      in
+      let scalar = Sim.eval_tristate_reference c ~inputs ~keys in
+      Array.for_all2
+        (fun w tri ->
+          match tri with
+          | Sim.VX -> w.Sim_word.defined land 1 = 0
+          | Sim.V1 -> w.Sim_word.defined land 1 = 1 && w.Sim_word.value land 1 = 1
+          | Sim.V0 -> w.Sim_word.defined land 1 = 1 && w.Sim_word.value land 1 = 0)
+        words scalar)
+
+let prop_word_lanes_match_scalar_sweep =
+  (* Every lane of a packed evaluation equals the scalar reference on that
+     lane's vector (acyclic circuits; strict eval). *)
+  let gen = QCheck2.Gen.(pair (int_bound 10_000) (int_bound 10_000)) in
+  qcheck_case ~count:25 "packed lanes = scalar sweep" gen
+    (fun (seed, stim_seed) ->
+      let c = acyclic_of ~seed in
+      let rng = Random.State.make [| stim_seed; 2 |] in
+      let inputs = Sim_word.random_words rng ~width:(Circuit.num_inputs c) in
+      let keys = Sim.random_vector rng (Circuit.num_keys c) in
+      let packed = Sim_word.eval c ~inputs ~keys:(View.broadcast keys) in
+      let ok = ref true in
+      for lane = 0 to 7 do
+        let lane_inputs =
+          Array.map (fun w -> w land (1 lsl lane) <> 0) inputs
+        in
+        let expected = Sim.eval_reference c ~inputs:lane_inputs ~keys in
+        Array.iteri
+          (fun i w ->
+            if w land (1 lsl lane) <> 0 <> expected.(i) then ok := false)
+          packed
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint corner cases                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_oscillator_unresolved () =
+  (* y = NOT y through the compiled evaluator: VX tristate, raising eval. *)
+  let b = Circuit.Builder.create ~name:"view-osc" () in
+  let _x = Circuit.Builder.input ~name:"x" b in
+  let inv = Circuit.Builder.declare ~name:"inv" b Gate.Not in
+  Circuit.Builder.set_fanins b inv [| inv |];
+  Circuit.Builder.output b "y" inv;
+  let c = Circuit.of_builder b in
+  let v = View.of_circuit c in
+  check bool_t "cyclic" false (View.is_acyclic v);
+  let tri = View.eval_tristate v ~inputs:[| true |] ~keys:[||] in
+  check bool_t "X output" true (tri.(0) = View.VX);
+  (try
+     ignore (View.eval v ~inputs:[| true |] ~keys:[||]);
+     Alcotest.fail "expected Unresolved"
+   with View.Unresolved _ -> ());
+  (* The word evaluator reports the same lane-wise. *)
+  let words = View.eval_words v ~inputs:[| -1 |] ~keys:[||] in
+  check bool_t "all lanes undefined" true (words.(0).View.defined = 0)
+
+let test_mux_cycle_opened_by_key () =
+  (* m1 = MUX(k, x, m2); m2 = MUX(k, m1, x): both key values functionally
+     open the structural cycle, so the view's fixpoint must settle. *)
+  let b = Circuit.Builder.create ~name:"view-cyc2" () in
+  let k = Circuit.Builder.key_input ~name:"k" b in
+  let x = Circuit.Builder.input ~name:"x" b in
+  let m1 = Circuit.Builder.declare ~name:"m1" b Gate.Mux in
+  let m2 = Circuit.Builder.add ~name:"m2" b Gate.Mux [| k; m1; x |] in
+  Circuit.Builder.set_fanins b m1 [| k; x; m2 |];
+  Circuit.Builder.output b "y" m2;
+  let c = Circuit.of_builder b in
+  let v = View.of_circuit c in
+  List.iter
+    (fun (kv, xv) ->
+      let out = View.eval v ~inputs:[| xv |] ~keys:[| kv |] in
+      check bool_t (Printf.sprintf "k=%b x=%b" kv xv) xv out.(0))
+    [ false, false; false, true; true, false; true, true ]
+
+(* ------------------------------------------------------------------ *)
+(* Memoization                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_view_is_memoized () =
+  let c = Bench_suite.c17 () in
+  check bool_t "same view" true (View.of_circuit c == View.of_circuit c);
+  (* A structurally equal but physically distinct circuit gets its own
+     view. *)
+  let c2 = Bench_suite.c17 () in
+  check bool_t "distinct circuit, distinct view" true
+    (not (View.of_circuit c == View.of_circuit c2))
+
+let test_topological_order_is_memoized () =
+  let c = Bench_suite.c17 () in
+  (match Circuit.topological_order c, Circuit.topological_order c with
+   | Some a, Some b -> check bool_t "same array" true (a == b)
+   | _ -> Alcotest.fail "c17 must be acyclic");
+  (* The uncached path allocates fresh results. *)
+  match
+    Circuit.compute_topological_order c, Circuit.compute_topological_order c
+  with
+  | Some a, Some b ->
+    check bool_t "fresh arrays" true (a != b);
+    check bool_t "same order" true (a = b)
+  | _ -> Alcotest.fail "c17 must be acyclic"
+
+let test_cached_analyses_agree () =
+  let c = Bench_suite.load_scaled "c432" ~scale:4 in
+  let v = View.of_circuit c in
+  check bool_t "acyclic agrees" true (View.is_acyclic v = Circuit.is_acyclic c);
+  check bool_t "depth agrees" true (View.depth v = Circuit.depth c);
+  check bool_t "fanouts agree" true (View.fanouts v = Circuit.fanouts c);
+  check bool_t "scc agrees" true
+    (View.scc v = Circuit.strongly_connected_components c);
+  check bool_t "coi agrees" true
+    (let _, id = c.Circuit.outputs.(0) in
+     View.cone_of_influence v id = Circuit.transitive_fanin c id)
+
+(* ------------------------------------------------------------------ *)
+(* Shared probe helper                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_agree_on_probes () =
+  let c = acyclic_of ~seed:42 in
+  let v = View.of_circuit c in
+  let keys = Array.make (Circuit.num_keys c) false in
+  (* A circuit always agrees with itself... *)
+  check bool_t "self exhaustive" true
+    (View.agree_on_probes v ~keys_a:keys v ~keys_b:keys);
+  check bool_t "self random" true
+    (View.agree_on_probes ~exhaustive_limit:0 ~vectors:130 v ~keys_a:keys v
+       ~keys_b:keys);
+  (* ...and never with its complement. *)
+  let b = Circuit.Builder.create ~name:"negated" () in
+  let map = Circuit.copy_nodes_into b c in
+  Array.iter
+    (fun (port, id) ->
+      let n = Circuit.Builder.add b Gate.Not [| map.(id) |] in
+      Circuit.Builder.output b port n)
+    c.Circuit.outputs;
+  let negated = Circuit.of_builder b in
+  let vn = View.of_circuit negated in
+  check bool_t "complement exhaustive" false
+    (View.agree_on_probes v ~keys_a:keys vn ~keys_b:keys);
+  check bool_t "complement random" false
+    (View.agree_on_probes ~exhaustive_limit:0 ~vectors:130 v ~keys_a:keys vn
+       ~keys_b:keys)
+
+let test_agree_on_probes_counts_unresolved () =
+  (* An output stuck at X can never count as agreement, even against
+     itself. *)
+  let b = Circuit.Builder.create ~name:"stuck" () in
+  let _x = Circuit.Builder.input ~name:"x" b in
+  let inv = Circuit.Builder.declare ~name:"inv" b Gate.Not in
+  Circuit.Builder.set_fanins b inv [| inv |];
+  Circuit.Builder.output b "y" inv;
+  let c = Circuit.of_builder b in
+  let v = View.of_circuit c in
+  check bool_t "unresolved disagrees" false
+    (View.agree_on_probes v ~keys_a:[||] v ~keys_b:[||])
+
+let () =
+  Alcotest.run "view"
+    [
+      ( "equivalence",
+        [
+          prop_acyclic_matches_reference;
+          prop_cyclic_matches_reference;
+          prop_word_lane_zero_matches_scalar;
+          prop_word_lanes_match_scalar_sweep;
+        ] );
+      ( "fixpoint",
+        [
+          Alcotest.test_case "oscillator" `Quick test_oscillator_unresolved;
+          Alcotest.test_case "mux cycle" `Quick test_mux_cycle_opened_by_key;
+        ] );
+      ( "memoization",
+        [
+          Alcotest.test_case "view cached" `Quick test_view_is_memoized;
+          Alcotest.test_case "topo cached" `Quick
+            test_topological_order_is_memoized;
+          Alcotest.test_case "analyses agree" `Quick test_cached_analyses_agree;
+        ] );
+      ( "probes",
+        [
+          Alcotest.test_case "agree_on_probes" `Quick test_agree_on_probes;
+          Alcotest.test_case "unresolved probes" `Quick
+            test_agree_on_probes_counts_unresolved;
+        ] );
+    ]
