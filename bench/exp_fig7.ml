@@ -76,7 +76,40 @@ let run ~deep () =
       "Fig. 7 — clauses/variables ratio of the attack formula during deobfuscation (asymptotic per-copy, avg over hosts)"
     [ "scheme"; "clauses/vars"; "profile" ]
     rows;
+  Report.add_section "clause_var_ratio"
+    (List.map (fun (name, avg) -> name, Fl_obs.Float avg) sorted);
   print_endline
     "Shape reproduced: Full-Lock pushes the attack formula's ratio toward the\n\
      SAT-hard band (paper: 3.77, with Cross-Lock and LUT-Lock next); point-function\n\
-     and XOR schemes stay lower."
+     and XOR schemes stay lower.";
+  (* A measured trajectory to go with the asymptotic table: run the real
+     SAT attack on one locked host so the per-iteration records — DIP,
+     solver-stat deltas, growing clause/var ratio — land in the trace
+     (`--trace FILE`) and the endpoint lands in BENCH_fig7.json. *)
+  let host = Bench_suite.load_scaled "c432" ~scale in
+  let rng = Random.State.make [| 0xf17 |] in
+  let locked = Fl_locking.Rll.lock rng ~key_bits:key_budget host in
+  let timeout = if deep then 30.0 else 8.0 in
+  let result = Fl_attacks.Sat_attack.run ~timeout locked in
+  Format.printf "trajectory (RLL on c432/%d): %a@." scale
+    Fl_attacks.Sat_attack.pp_result result;
+  Report.add_section "trajectory"
+    [
+      "scheme", Fl_obs.String "RLL (XOR)";
+      "host", Fl_obs.String "c432";
+      ( "status",
+        Fl_obs.String
+          (match result.Fl_attacks.Sat_attack.status with
+           | Fl_attacks.Sat_attack.Broken _ -> "broken"
+           | Fl_attacks.Sat_attack.Timeout -> "timeout"
+           | Fl_attacks.Sat_attack.Iteration_limit -> "iteration_limit"
+           | Fl_attacks.Sat_attack.No_key_found -> "no_key_found") );
+      "iterations", Fl_obs.Int result.Fl_attacks.Sat_attack.iterations;
+      "wall_seconds", Fl_obs.Float result.Fl_attacks.Sat_attack.wall_time;
+      ( "final_clause_var_ratio",
+        Fl_obs.Float result.Fl_attacks.Sat_attack.clause_var_ratio );
+      ( "conflicts",
+        Fl_obs.Int result.Fl_attacks.Sat_attack.solver.Fl_sat.Cdcl.conflicts );
+      ( "decisions",
+        Fl_obs.Int result.Fl_attacks.Sat_attack.solver.Fl_sat.Cdcl.decisions );
+    ]

@@ -132,28 +132,17 @@ let sim_throughput () =
   in
   let lanes = Fl_netlist.Sim_word.lanes in
   let speedup = cached /. uncached in
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"circuit\": %S,\n\
-      \  \"gates\": %d,\n\
-      \  \"lanes\": %d,\n\
-      \  \"scalar_uncached_evals_per_sec\": %.1f,\n\
-      \  \"scalar_cached_evals_per_sec\": %.1f,\n\
-      \  \"word_passes_per_sec\": %.1f,\n\
-      \  \"word_vectors_per_sec\": %.1f,\n\
-      \  \"cold_first_eval_us\": %.1f,\n\
-      \  \"speedup_cached_vs_uncached\": %.2f\n\
-       }\n"
-      name
-      (Fl_netlist.Circuit.num_gates c)
-      lanes uncached cached word_passes
-      (word_passes *. float_of_int lanes)
-      cold_first_eval_us speedup
-  in
-  let oc = open_out "BENCH_sim.json" in
-  output_string oc json;
-  close_out oc;
+  (* BENCH_sim.json is written by the harness via Report; these keys are
+     the stable schema tracked across PRs. *)
+  Report.add_string "circuit" name;
+  Report.add_int "gates" (Fl_netlist.Circuit.num_gates c);
+  Report.add_int "lanes" lanes;
+  Report.add_float "scalar_uncached_evals_per_sec" uncached;
+  Report.add_float "scalar_cached_evals_per_sec" cached;
+  Report.add_float "word_passes_per_sec" word_passes;
+  Report.add_float "word_vectors_per_sec" (word_passes *. float_of_int lanes);
+  Report.add_float "cold_first_eval_us" cold_first_eval_us;
+  Report.add_float "speedup_cached_vs_uncached" speedup;
   Tables.print ~title:"Simulation throughput (c432, evals/sec)"
     [ "path"; "evals/sec" ]
     [
@@ -163,8 +152,7 @@ let sim_throughput () =
         Printf.sprintf "%.0f" (word_passes *. float_of_int lanes) ];
       [ "cold first eval (us)"; Printf.sprintf "%.1f" cold_first_eval_us ];
       [ "speedup cached/uncached"; Printf.sprintf "%.2fx" speedup ];
-    ];
-  Printf.printf "wrote BENCH_sim.json\n%!"
+    ]
 
 let run () =
   let ols =

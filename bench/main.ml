@@ -1,12 +1,18 @@
 (* Experiment harness: one sub-command per table/figure of the paper, plus
    the supplementary security experiments, ablations and micro benches.
 
-   Usage:  main.exe [experiment ...] [--deep]
+   Usage:  main.exe [experiment ...] [--deep] [--trace FILE]
            main.exe all            (default; every experiment, scaled budget)
            main.exe micro          (Bechamel micro-benchmarks)
 
    --deep raises sizes and timeouts toward (but nowhere near) the paper's
-   2e6-second testbed budget. *)
+   2e6-second testbed budget.  --trace installs a JSONL Fl_obs sink: every
+   structured event of the run (per-iteration attack records, solver
+   progress, spans) is appended to FILE, one JSON object per line.
+
+   Each experiment also writes a machine-readable BENCH_<name>.json
+   summary — wall time, the Fl_obs counter snapshot, and the fields the
+   experiment registered through Report. *)
 
 let experiments ~deep =
   [
@@ -28,21 +34,55 @@ let experiments ~deep =
     "sim", (fun () -> Exp_micro.sim_throughput ());
   ]
 
+let usage_names table = "all" :: List.map fst table
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* Split out --trace FILE before the experiment names. *)
+  let trace = ref None in
+  let rec strip_trace acc = function
+    | [] -> List.rev acc
+    | "--trace" :: file :: rest ->
+      trace := Some file;
+      strip_trace acc rest
+    | [ "--trace" ] ->
+      prerr_endline "--trace needs a file argument";
+      exit 2
+    | a :: rest -> strip_trace (a :: acc) rest
+  in
+  let args = strip_trace [] args in
   let deep = List.mem "--deep" args in
   let selected = List.filter (fun a -> a <> "--deep") args in
   let table = experiments ~deep in
+  (* Reject unknown names up front so `main.exe tabel4 fig7` fails fast
+     instead of running fig7 first and erroring an hour in. *)
+  (match
+     List.filter
+       (fun name -> not (List.mem name (usage_names table)))
+       selected
+   with
+   | [] -> ()
+   | unknown ->
+     List.iter
+       (fun name ->
+         Printf.eprintf "unknown experiment %S; available: %s\n" name
+           (String.concat ", " (usage_names table)))
+       unknown;
+     exit 2);
+  (match !trace with
+   | None -> ()
+   | Some file ->
+     let oc = open_out file in
+     ignore (Fl_obs.add_sink (Fl_obs.jsonl_sink oc));
+     at_exit (fun () -> close_out oc));
   let run_one name =
-    match List.assoc_opt name table with
-    | Some f ->
-      let t0 = Unix.gettimeofday () in
-      f ();
-      Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
-    | None ->
-      Printf.eprintf "unknown experiment %S; available: %s\n" name
-        (String.concat ", " ("all" :: List.map fst table));
-      exit 2
+    let f = List.assoc name table in
+    Report.reset ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let wall = Unix.gettimeofday () -. t0 in
+    Report.write ~experiment:name ~wall_s:wall;
+    Printf.printf "[%s done in %.1fs]\n%!" name wall
   in
   match selected with
   | [] | [ "all" ] ->

@@ -1,0 +1,68 @@
+(* Machine-readable experiment summaries.
+
+   Every experiment run through bench/main.exe gets a BENCH_<name>.json
+   written next to its printed table: a flat JSON object with the
+   experiment name, wall-clock seconds and the Fl_obs counter snapshot,
+   plus whatever fields and sections the experiment registered while it
+   ran.  Experiments stay printf-style; they just call [add_*] for the
+   numbers worth tracking across PRs. *)
+
+type entry =
+  | Scalar of string * Fl_obs.value
+  | Section of string * (string * Fl_obs.value) list
+
+let entries : entry list ref = ref []
+
+let reset () = entries := []
+
+let add name v = entries := Scalar (name, v) :: !entries
+let add_int name i = add name (Fl_obs.Int i)
+let add_float name f = add name (Fl_obs.Float f)
+let add_string name s = add name (Fl_obs.String s)
+let add_bool name b = add name (Fl_obs.Bool b)
+
+(* [add_section name fields] nests [fields] as a JSON sub-object. *)
+let add_section name fields = entries := Section (name, fields) :: !entries
+
+let buf_member buf ~first name value_str =
+  if not !first then Buffer.add_string buf ",\n";
+  first := false;
+  Buffer.add_string buf "  ";
+  Buffer.add_string buf (Fl_obs.Json.string_to_string name);
+  Buffer.add_string buf ": ";
+  Buffer.add_string buf value_str
+
+let object_str fields =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun (k, v) ->
+           Fl_obs.Json.string_to_string k ^ ": " ^ Fl_obs.Json.value_to_string v)
+         fields)
+  ^ "}"
+
+(* [write ~experiment ~wall_s] emits BENCH_<experiment>.json and clears the
+   registered entries for the next experiment. *)
+let write ~experiment ~wall_s =
+  let buf = Buffer.create 512 in
+  let first = ref true in
+  Buffer.add_string buf "{\n";
+  buf_member buf ~first "experiment"
+    (Fl_obs.Json.string_to_string experiment);
+  buf_member buf ~first "wall_seconds"
+    (Fl_obs.Json.value_to_string (Fl_obs.Float wall_s));
+  List.iter
+    (fun entry ->
+      match entry with
+      | Scalar (name, v) ->
+        buf_member buf ~first name (Fl_obs.Json.value_to_string v)
+      | Section (name, fields) -> buf_member buf ~first name (object_str fields))
+    (List.rev !entries);
+  buf_member buf ~first "counters" (object_str (Fl_obs.snapshot ()));
+  Buffer.add_string buf "\n}\n";
+  let path = "BENCH_" ^ experiment ^ ".json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path;
+  reset ()

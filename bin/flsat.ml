@@ -1,15 +1,18 @@
 (* flsat — standalone DIMACS front end for the CDCL solver.
 
-     flsat problem.cnf [--budget-seconds S] [--dpll] [--stats]
+     flsat problem.cnf [--budget-seconds S] [--dpll] [--stats] [--trace FILE]
 
    Prints "s SATISFIABLE" with a "v ..." model line, "s UNSATISFIABLE", or
-   "s UNKNOWN", following the SAT-competition output conventions. *)
+   "s UNKNOWN", following the SAT-competition output conventions.
+   --trace appends structured JSONL events (cdcl.progress every 1024
+   conflicts, the final solve record) to FILE. *)
 
 let () =
   let path = ref None in
   let budget = ref (-1.0) in
   let use_dpll = ref false in
   let show_stats = ref false in
+  let trace = ref None in
   let rec parse = function
     | [] -> ()
     | "--budget-seconds" :: v :: rest ->
@@ -21,6 +24,12 @@ let () =
     | "--stats" :: rest ->
       show_stats := true;
       parse rest
+    | "--trace" :: file :: rest ->
+      trace := Some file;
+      parse rest
+    | [ "--trace" ] ->
+      prerr_endline "--trace needs a file argument";
+      exit 2
     | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
       path := Some arg;
       parse rest
@@ -33,9 +42,16 @@ let () =
     match !path with
     | Some p -> p
     | None ->
-      prerr_endline "usage: flsat problem.cnf [--budget-seconds S] [--dpll] [--stats]";
+      prerr_endline
+        "usage: flsat problem.cnf [--budget-seconds S] [--dpll] [--stats] [--trace FILE]";
       exit 2
   in
+  (match !trace with
+   | None -> ()
+   | Some file ->
+     let oc = open_out file in
+     ignore (Fl_obs.add_sink (Fl_obs.jsonl_sink oc));
+     at_exit (fun () -> close_out oc));
   let text =
     let ic = open_in path in
     let len = in_channel_length ic in
@@ -68,10 +84,41 @@ let () =
       if !budget > 0.0 then Fl_sat.Cdcl.budget_seconds !budget
       else Fl_sat.Cdcl.no_budget
     in
-    let outcome, model, stats = Fl_sat.Cdcl.solve_formula ~budget formula in
+    let s = Fl_sat.Cdcl.of_formula formula in
+    let stats_fields (d : Fl_sat.Cdcl.stats) =
+      [
+        "decisions", Fl_obs.Int d.Fl_sat.Cdcl.decisions;
+        "propagations", Fl_obs.Int d.Fl_sat.Cdcl.propagations;
+        "conflicts", Fl_obs.Int d.Fl_sat.Cdcl.conflicts;
+        "restarts", Fl_obs.Int d.Fl_sat.Cdcl.restarts;
+        "learned_clauses", Fl_obs.Int d.Fl_sat.Cdcl.learned_clauses;
+        "reductions", Fl_obs.Int d.Fl_sat.Cdcl.reductions;
+        "max_decision_level", Fl_obs.Int d.Fl_sat.Cdcl.max_decision_level;
+      ]
+    in
+    if Fl_obs.enabled () then
+      Fl_sat.Cdcl.set_progress s ~every:1024 (fun delta ->
+          Fl_obs.emit "cdcl.progress" ~fields:(stats_fields delta));
+    let t0 = Unix.gettimeofday () in
+    let outcome = Fl_sat.Cdcl.solve ~budget s in
+    let stats = Fl_sat.Cdcl.stats s in
+    if Fl_obs.enabled () then
+      Fl_obs.emit "cdcl.solve"
+        ~fields:
+          (("outcome",
+            Fl_obs.String
+              (match outcome with
+               | Fl_sat.Cdcl.Sat -> "sat"
+               | Fl_sat.Cdcl.Unsat -> "unsat"
+               | Fl_sat.Cdcl.Unknown -> "unknown"))
+           :: ("clauses", Fl_obs.Int (Fl_cnf.Formula.num_clauses formula))
+           :: ("vars", Fl_obs.Int (Fl_cnf.Formula.num_vars formula))
+           :: ("elapsed_s", Fl_obs.Float (Unix.gettimeofday () -. t0))
+           :: stats_fields stats);
     if !show_stats then Format.eprintf "c %a@." Fl_sat.Cdcl.pp_stats stats;
-    match outcome, model with
-    | Fl_sat.Cdcl.Sat, Some m ->
+    match outcome with
+    | Fl_sat.Cdcl.Sat ->
+      let m = Fl_sat.Cdcl.model s in
       print_endline "s SATISFIABLE";
       let buf = Buffer.create 256 in
       Buffer.add_string buf "v";
@@ -81,10 +128,10 @@ let () =
       Buffer.add_string buf " 0";
       print_endline (Buffer.contents buf);
       exit 10
-    | Fl_sat.Cdcl.Unsat, _ ->
+    | Fl_sat.Cdcl.Unsat ->
       print_endline "s UNSATISFIABLE";
       exit 20
-    | _, _ ->
+    | Fl_sat.Cdcl.Unknown ->
       print_endline "s UNKNOWN";
       exit 0
   end

@@ -360,7 +360,14 @@ let verify_cmd =
 (* ---------- attack ---------- *)
 
 let attack_cmd =
-  let run kind locked_path oracle_path timeout key_out =
+  let run kind locked_path oracle_path timeout key_out trace stats =
+    (match trace with
+     | None -> ()
+     | Some file ->
+       let oc = open_out file in
+       ignore (Fl_obs.add_sink (Fl_obs.jsonl_sink oc));
+       at_exit (fun () -> close_out oc));
+    if stats then at_exit (fun () -> Format.eprintf "%a" Fl_obs.pp_snapshot ());
     let locked = read_circuit locked_path in
     let oracle = read_circuit oracle_path in
     let l =
@@ -421,9 +428,18 @@ let attack_cmd =
   let key_out =
     Arg.(value & opt (some string) None & info [ "key-out" ] ~doc:"Save the key here.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Append structured JSONL events (one per attack iteration, \
+                 solver progress) to $(docv).")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the observability counter snapshot on exit.")
+  in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a locked netlist with oracle access")
-    Term.(const run $ kind $ locked $ oracle $ timeout $ key_out)
+    Term.(const run $ kind $ locked $ oracle $ timeout $ key_out $ trace $ stats)
 
 let () =
   let doc = "Full-Lock logic locking toolbox (DAC'19 reproduction)" in

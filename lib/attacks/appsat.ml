@@ -60,7 +60,7 @@ let estimate_error locked rng ~samples key =
 let run ?(timeout = 60.0) ?(max_iterations = max_int) ?(settle_every = 4)
     ?(samples = 64) ?(error_threshold = 0.01) ?(seed = 0) locked =
   let deadline = Unix.gettimeofday () +. timeout in
-  let session = Session.create ~deadline locked in
+  let session = Session.create ~label:"appsat" ~deadline locked in
   let rng = Random.State.make [| seed; 0xa99 |] in
   let queries = ref 0 in
   let finish ?key ?(error = 1.0) ~exact () =
@@ -78,6 +78,16 @@ let run ?(timeout = 60.0) ?(max_iterations = max_int) ?(settle_every = 4)
     | `Key key ->
       let error, disagreements = estimate_error locked rng ~samples key in
       queries := !queries + samples;
+      if Fl_obs.enabled () then
+        Fl_obs.emit "appsat.settle"
+          ~fields:
+            [
+              "iter", Fl_obs.Int (Session.iterations session);
+              "error", Fl_obs.Float error;
+              "random_queries", Fl_obs.Int !queries;
+              "disagreements", Fl_obs.Int (List.length disagreements);
+              "elapsed_s", Fl_obs.Float (Session.elapsed session);
+            ];
       if error <= error_threshold then Some (finish ~key ~error ~exact:false ())
       else begin
         (* Reinforce: add the disagreeing oracle observations. *)

@@ -139,4 +139,4 @@ let no_cycle_condition c =
 let run ?timeout ?max_iterations ?progress locked =
   let emitter = no_cycle_condition locked.Fl_locking.Locked.locked in
   Sat_attack.run ?timeout ?max_iterations ?progress ~extra_key_constraint:emitter
-    locked
+    ~label:"cycsat" locked

@@ -22,9 +22,9 @@ type result = {
 type progress = int -> float -> unit
 
 let run ?(timeout = 60.0) ?(max_iterations = max_int) ?(progress = fun _ _ -> ())
-    ?extra_key_constraint locked =
+    ?extra_key_constraint ?(label = "sat") locked =
   let deadline = Unix.gettimeofday () +. timeout in
-  let session = Session.create ?extra_key_constraint ~deadline locked in
+  let session = Session.create ?extra_key_constraint ~label ~deadline locked in
   let finish status dips =
     let key_is_correct =
       match status with
@@ -77,4 +77,12 @@ let pp_result fmt r =
     | No_key_found -> "no consistent key"
   in
   Format.fprintf fmt "%s after %d iterations, %.2fs, ratio %.2f (%a)" status
-    r.iterations r.wall_time r.clause_var_ratio Cdcl.pp_stats r.solver
+    r.iterations r.wall_time r.clause_var_ratio Cdcl.pp_stats r.solver;
+  if r.iterations > 0 then begin
+    let per n = float_of_int n /. float_of_int r.iterations in
+    Format.fprintf fmt
+      " [per iteration: %.1f decisions, %.1f propagations, %.1f conflicts]"
+      (per r.solver.Cdcl.decisions)
+      (per r.solver.Cdcl.propagations)
+      (per r.solver.Cdcl.conflicts)
+  end

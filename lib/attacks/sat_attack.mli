@@ -30,16 +30,22 @@ type result = {
 (** Hook called after each iteration with (iteration, elapsed seconds). *)
 type progress = int -> float -> unit
 
-(** [run ?timeout ?max_iterations ?progress ?extra_key_constraint locked]
-    runs the attack.  [extra_key_constraint] (used by CycSAT) may add
-    clauses over a key-variable vector into a formula; it is applied to
-    both miter key copies and to the key-recovery formula. *)
+(** [run ?timeout ?max_iterations ?progress ?extra_key_constraint ?label
+    locked] runs the attack.  [extra_key_constraint] (used by CycSAT) may
+    add clauses over a key-variable vector into a formula; it is applied to
+    both miter key copies and to the key-recovery formula.  [label]
+    (default ["sat"]) names the attack in the per-iteration {!Fl_obs}
+    records the underlying {!Session} emits (see {!Session.find_dip}). *)
 val run :
   ?timeout:float ->
   ?max_iterations:int ->
   ?progress:progress ->
   ?extra_key_constraint:(Fl_cnf.Formula.t -> int array -> unit) ->
+  ?label:string ->
   Fl_locking.Locked.t ->
   result
 
+(** Prints the status line, the accumulated solver stats and (when at least
+    one iteration ran) per-iteration averages of decisions, propagations
+    and conflicts. *)
 val pp_result : Format.formatter -> result -> unit

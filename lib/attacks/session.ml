@@ -32,33 +32,40 @@ type t = {
   key_vars : int array;
   deadline : float;
   start : float;
+  label : string;
   mutable iteration_count : int;
   mutable stats : Cdcl.stats;
 }
 
-let zero_stats =
-  {
-    Cdcl.decisions = 0;
-    propagations = 0;
-    conflicts = 0;
-    restarts = 0;
-    learned_clauses = 0;
-    learned_literals = 0;
-    max_decision_level = 0;
-  }
+(* Fields of one solver-stat delta, shared by the per-iteration attack
+   records and the periodic cdcl.progress records. *)
+let stats_fields (d : Cdcl.stats) =
+  [
+    "decisions", Fl_obs.Int d.Cdcl.decisions;
+    "propagations", Fl_obs.Int d.Cdcl.propagations;
+    "conflicts", Fl_obs.Int d.Cdcl.conflicts;
+    "restarts", Fl_obs.Int d.Cdcl.restarts;
+    "learned_clauses", Fl_obs.Int d.Cdcl.learned_clauses;
+    "learned_literals", Fl_obs.Int d.Cdcl.learned_literals;
+    "reductions", Fl_obs.Int d.Cdcl.reductions;
+    "max_decision_level", Fl_obs.Int d.Cdcl.max_decision_level;
+  ]
 
-let add_stats a b =
-  {
-    Cdcl.decisions = a.Cdcl.decisions + b.Cdcl.decisions;
-    propagations = a.Cdcl.propagations + b.Cdcl.propagations;
-    conflicts = a.Cdcl.conflicts + b.Cdcl.conflicts;
-    restarts = a.Cdcl.restarts + b.Cdcl.restarts;
-    learned_clauses = a.Cdcl.learned_clauses + b.Cdcl.learned_clauses;
-    learned_literals = a.Cdcl.learned_literals + b.Cdcl.learned_literals;
-    max_decision_level = max a.Cdcl.max_decision_level b.Cdcl.max_decision_level;
-  }
+(* Every N conflicts each session solver reports its stat deltas, so
+   long solver calls (the interesting ones) are visible from a trace even
+   before the iteration record lands. *)
+let progress_conflict_period = 2048
 
-let create ?extra_key_constraint ~deadline locked =
+let arm_progress label role solver =
+  Cdcl.set_progress solver ~every:progress_conflict_period (fun delta ->
+      if Fl_obs.enabled () then
+        Fl_obs.emit "cdcl.progress"
+          ~fields:
+            (("attack", Fl_obs.String label)
+             :: ("solver", Fl_obs.String role)
+             :: stats_fields delta))
+
+let create ?extra_key_constraint ?(label = "sat") ~deadline locked =
   let circuit = locked.Locked.locked in
   let miter = Miter.build circuit in
   let key_formula = Formula.create () in
@@ -69,21 +76,58 @@ let create ?extra_key_constraint ~deadline locked =
      add miter.Miter.formula miter.Miter.keys_a;
      add miter.Miter.formula miter.Miter.keys_b
    | None -> ());
+  let miter_tracked = tracked_of miter.Miter.formula in
+  let key_tracked = tracked_of key_formula in
+  arm_progress label "miter" miter_tracked.solver;
+  arm_progress label "key" key_tracked.solver;
   {
     locked;
     miter;
-    miter_tracked = tracked_of miter.Miter.formula;
-    key_tracked = tracked_of key_formula;
+    miter_tracked;
+    key_tracked;
     key_vars;
     deadline;
     start = Unix.gettimeofday ();
+    label;
     iteration_count = 0;
-    stats = zero_stats;
+    stats = Cdcl.zero_stats;
   }
 
 let elapsed s = Unix.gettimeofday () -. s.start
 let out_of_time s = Unix.gettimeofday () > s.deadline
 let budget s = Cdcl.budget_seconds (s.deadline -. Unix.gettimeofday ())
+
+(* One structured record per miter solve.  A Sat outcome is an attack
+   iteration ("attack.iteration"); the final Unsat/Unknown solve is recorded
+   too ("attack.exhausted" / "attack.timeout") so that summing the deltas of
+   every record reproduces {!solver_stats} exactly. *)
+let emit_record s name ?dip delta =
+  if Fl_obs.enabled () then begin
+    let f = s.miter.Miter.formula in
+    let fields =
+      ("attack", Fl_obs.String s.label)
+      :: ("scheme", Fl_obs.String s.locked.Locked.scheme)
+      :: ("iter", Fl_obs.Int s.iteration_count)
+      :: ("clauses", Fl_obs.Int (Formula.num_clauses f))
+      :: ("vars", Fl_obs.Int (Formula.num_vars f))
+      :: ("clause_var_ratio", Fl_obs.Float (Formula.ratio f))
+      :: ("elapsed_s", Fl_obs.Float (elapsed s))
+      :: stats_fields delta
+    in
+    let fields =
+      match dip with
+      | None -> fields
+      | Some bits ->
+        fields
+        @ [
+            ( "dip",
+              Fl_obs.String
+                (String.init (Array.length bits) (fun i ->
+                     if bits.(i) then '1' else '0')) );
+          ]
+    in
+    Fl_obs.emit name ~fields
+  end
 
 let find_dip s =
   if out_of_time s then `Timeout
@@ -92,24 +136,20 @@ let find_dip s =
     let solver = s.miter_tracked.solver in
     let before = Cdcl.stats solver in
     let outcome = Cdcl.solve ~budget:(budget s) solver in
-    let after = Cdcl.stats solver in
-    s.stats <-
-      add_stats s.stats
-        {
-          after with
-          Cdcl.decisions = after.Cdcl.decisions - before.Cdcl.decisions;
-          propagations = after.Cdcl.propagations - before.Cdcl.propagations;
-          conflicts = after.Cdcl.conflicts - before.Cdcl.conflicts;
-          restarts = after.Cdcl.restarts - before.Cdcl.restarts;
-          learned_clauses = after.Cdcl.learned_clauses - before.Cdcl.learned_clauses;
-          learned_literals = after.Cdcl.learned_literals - before.Cdcl.learned_literals;
-        };
+    let delta = Cdcl.sub_stats (Cdcl.stats solver) before in
+    s.stats <- Cdcl.add_stats s.stats delta;
     match outcome with
-    | Cdcl.Unknown -> `Timeout
-    | Cdcl.Unsat -> `Exhausted
+    | Cdcl.Unknown ->
+      emit_record s "attack.timeout" delta;
+      `Timeout
+    | Cdcl.Unsat ->
+      emit_record s "attack.exhausted" delta;
+      `Exhausted
     | Cdcl.Sat ->
       s.iteration_count <- s.iteration_count + 1;
-      `Dip (Array.map (fun v -> Cdcl.value solver v) s.miter.Miter.inputs)
+      let dip = Array.map (fun v -> Cdcl.value solver v) s.miter.Miter.inputs in
+      emit_record s "attack.iteration" ~dip delta;
+      `Dip dip
   end
 
 let constrain_io s ~inputs ~outputs =

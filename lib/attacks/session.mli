@@ -5,18 +5,29 @@
 
 type t
 
-(** [create ?extra_key_constraint ~deadline locked] builds the miter and the
-    key-recovery formula; [extra_key_constraint] is asserted over both miter
-    key copies and the recovery keys.  [deadline] is an absolute Unix
-    time. *)
+(** [create ?extra_key_constraint ?label ~deadline locked] builds the miter
+    and the key-recovery formula; [extra_key_constraint] is asserted over
+    both miter key copies and the recovery keys.  [deadline] is an absolute
+    Unix time.  [label] (default ["sat"]) names the attack in every
+    {!Fl_obs} record the session emits. *)
 val create :
   ?extra_key_constraint:(Fl_cnf.Formula.t -> int array -> unit) ->
+  ?label:string ->
   deadline:float ->
   Fl_locking.Locked.t ->
   t
 
 (** [find_dip s] solves the miter for the next discriminating input
-    pattern.  Increments the iteration counter on success. *)
+    pattern.  Increments the iteration counter on success.
+
+    When an {!Fl_obs} sink is installed, every miter solve emits one
+    structured record — ["attack.iteration"] (with the DIP) on success,
+    ["attack.exhausted"] / ["attack.timeout"] for the final solve — carrying
+    the attack label, scheme, iteration index, the formula's clause/var
+    counts and ratio, elapsed seconds, and the solver-stat deltas of that
+    solve.  Summing the deltas over all records of a session reproduces
+    {!solver_stats} exactly.  The session solvers also report
+    ["cdcl.progress"] deltas every 2048 conflicts mid-solve. *)
 val find_dip : t -> [ `Dip of bool array | `Exhausted | `Timeout ]
 
 (** [observe s dip] queries the oracle on [dip] and constrains both key

@@ -2,6 +2,22 @@ type tristate = V0 | V1 | VX
 
 exception Unresolved of string
 
+(* Observability: build/eval counters and per-memo hit/miss rates, all in
+   the default Fl_obs registry.  Counters are bare int cells, so the hot
+   paths pay one increment per *evaluation pass* (never per node). *)
+let c_builds = Fl_obs.Counter.make "view.builds"
+let c_cache_hits = Fl_obs.Counter.make "view.cache.hit"
+let c_evals = Fl_obs.Counter.make "view.evals"
+let c_fixpoint_sweeps = Fl_obs.Counter.make "view.fixpoint_sweeps"
+let c_fanouts_hit = Fl_obs.Counter.make "view.memo.fanouts.hit"
+let c_fanouts_miss = Fl_obs.Counter.make "view.memo.fanouts.miss"
+let c_levels_hit = Fl_obs.Counter.make "view.memo.levels.hit"
+let c_levels_miss = Fl_obs.Counter.make "view.memo.levels.miss"
+let c_scc_hit = Fl_obs.Counter.make "view.memo.scc.hit"
+let c_scc_miss = Fl_obs.Counter.make "view.memo.scc.miss"
+let c_coi_hit = Fl_obs.Counter.make "view.memo.coi.hit"
+let c_coi_miss = Fl_obs.Counter.make "view.memo.coi.miss"
+
 type word = { defined : int; value : int }
 
 let lanes = Sys.int_size
@@ -40,6 +56,7 @@ type t = {
   mutable fanouts_memo : int array array option;
   mutable levels_memo : int array option option;
   mutable scc_memo : int array option;
+  coi_memo : (int, bool array) Hashtbl.t;  (* node id -> transitive fanin *)
 }
 
 let circuit v = v.circuit
@@ -101,6 +118,7 @@ let build c =
     fanouts_memo = None;
     levels_memo = None;
     scc_memo = None;
+    coi_memo = Hashtbl.create 8;
   }
 
 (* Views are memoized per circuit physical identity (circuits are
@@ -116,9 +134,12 @@ let cache : t Cache.t = Cache.create 64
 
 let of_circuit c =
   match Cache.find_opt cache c with
-  | Some v -> v
+  | Some v ->
+    Fl_obs.Counter.incr c_cache_hits;
+    v
   | None ->
     let v = build c in
+    Fl_obs.Counter.incr c_builds;
     Cache.replace cache c v;
     v
 
@@ -128,24 +149,33 @@ let of_circuit c =
 
 let fanouts v =
   match v.fanouts_memo with
-  | Some f -> f
+  | Some f ->
+    Fl_obs.Counter.incr c_fanouts_hit;
+    f
   | None ->
+    Fl_obs.Counter.incr c_fanouts_miss;
     let f = Circuit.fanouts v.circuit in
     v.fanouts_memo <- Some f;
     f
 
 let scc v =
   match v.scc_memo with
-  | Some s -> s
+  | Some s ->
+    Fl_obs.Counter.incr c_scc_hit;
+    s
   | None ->
+    Fl_obs.Counter.incr c_scc_miss;
     let s = Circuit.strongly_connected_components v.circuit in
     v.scc_memo <- Some s;
     s
 
 let levels v =
   match v.levels_memo with
-  | Some r -> r
+  | Some r ->
+    Fl_obs.Counter.incr c_levels_hit;
+    r
   | None ->
+    Fl_obs.Counter.incr c_levels_miss;
     let r =
       match v.topo with
       | None -> None
@@ -166,7 +196,19 @@ let levels v =
     r
 
 let depth v = Option.map (Array.fold_left max 0) (levels v)
-let cone_of_influence v id = Circuit.transitive_fanin v.circuit id
+
+(* Cached per node id (attack loops query the same output cones over and
+   over).  The memoized array is shared: callers must not mutate it. *)
+let cone_of_influence v id =
+  match Hashtbl.find_opt v.coi_memo id with
+  | Some cone ->
+    Fl_obs.Counter.incr c_coi_hit;
+    cone
+  | None ->
+    Fl_obs.Counter.incr c_coi_miss;
+    let cone = Circuit.transitive_fanin v.circuit id in
+    Hashtbl.add v.coi_memo id cone;
+    cone
 
 (* ------------------------------------------------------------------ *)
 (* Compiled evaluation                                                 *)
@@ -291,6 +333,7 @@ let reset v =
   Array.fill v.value 0 n 0
 
 let run v =
+  Fl_obs.Counter.incr c_evals;
   match v.topo with
   | Some order -> Array.iter (fun id -> ignore (step v id)) order
   | None ->
@@ -305,7 +348,8 @@ let run v =
       for i = 0 to n - 1 do
         if step v v.order.(i) <> 0 then changed := true
       done
-    done
+    done;
+    Fl_obs.Counter.add c_fixpoint_sweeps !sweeps
 
 let run_packed v ~inputs ~keys =
   check_widths v ~inputs:(Array.length inputs) ~keys:(Array.length keys);

@@ -62,8 +62,13 @@ val fanouts : t -> int array array
     mutate. *)
 val scc : t -> int array
 
-(** [cone_of_influence v id] is the transitive fanin mask of [id]
-    (computed per call; see {!Circuit.transitive_fanin}). *)
+(** [cone_of_influence v id] is the transitive fanin mask of [id] (see
+    {!Circuit.transitive_fanin}), cached per node id on first request.
+    Shared array — do not mutate.  Hit/miss rates are reported on the
+    [view.memo.coi.*] {!Fl_obs} counters, as are the other memoized
+    analyses ([view.memo.fanouts.*], [view.memo.levels.*],
+    [view.memo.scc.*]) and the evaluator ([view.builds],
+    [view.cache.hit], [view.evals], [view.fixpoint_sweeps]). *)
 val cone_of_influence : t -> int -> bool array
 
 (** {1 Compiled evaluation}

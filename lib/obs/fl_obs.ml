@@ -1,0 +1,403 @@
+(* Observability substrate.  Everything here is deliberately boring:
+   mutable cells for metrics, a list of sinks for events, gettimeofday for
+   clocks.  The one invariant that matters is the no-sink fast path — emit
+   and with_span must cost a single branch when nothing is listening. *)
+
+type value = Int of int | Float of float | String of string | Bool of bool
+
+type event = { ts : float; name : string; fields : (string * value) list }
+type sink = event -> unit
+type sink_id = int
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sinks : (sink_id * sink) list ref = ref []
+let next_sink_id = ref 0
+
+let add_sink s =
+  incr next_sink_id;
+  let id = !next_sink_id in
+  sinks := (id, s) :: !sinks;
+  id
+
+let remove_sink id = sinks := List.filter (fun (i, _) -> i <> id) !sinks
+
+let with_sink s f =
+  let id = add_sink s in
+  Fun.protect ~finally:(fun () -> remove_sink id) f
+
+let enabled () = !sinks <> []
+
+let emit ?(fields = []) name =
+  match !sinks with
+  | [] -> ()
+  | sinks ->
+    let e = { ts = Unix.gettimeofday (); name; fields } in
+    List.iter (fun (_, s) -> s e) sinks
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let depth = ref 0
+
+let span_depth () = !depth
+
+let with_span ?(fields = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let d = !depth in
+    emit ~fields:(("depth", Int d) :: fields) ("span.begin:" ^ name);
+    let t0 = Unix.gettimeofday () in
+    incr depth;
+    Fun.protect
+      ~finally:(fun () ->
+        decr depth;
+        let dur = Unix.gettimeofday () -. t0 in
+        emit
+          ~fields:(("depth", Int d) :: ("dur_s", Float dur) :: fields)
+          ("span.end:" ^ name))
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Registries, counters, gauges                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Registry = struct
+  type metric = Mcounter of int ref | Mgauge of float ref
+  type t = { rname : string; metrics : (string, metric) Hashtbl.t }
+
+  let create rname = { rname; metrics = Hashtbl.create 32 }
+  let default = create "fl"
+  let name r = r.rname
+end
+
+module Counter = struct
+  type t = int ref
+
+  let make ?(registry = Registry.default) name =
+    match Hashtbl.find_opt registry.Registry.metrics name with
+    | Some (Registry.Mcounter c) -> c
+    | Some (Registry.Mgauge _) ->
+      invalid_arg (Printf.sprintf "Fl_obs.Counter.make: %S is a gauge" name)
+    | None ->
+      let c = ref 0 in
+      Hashtbl.add registry.Registry.metrics name (Registry.Mcounter c);
+      c
+
+  let incr c = Stdlib.incr c
+  let add c n = c := !c + n
+  let value c = !c
+end
+
+module Gauge = struct
+  type t = float ref
+
+  let make ?(registry = Registry.default) name =
+    match Hashtbl.find_opt registry.Registry.metrics name with
+    | Some (Registry.Mgauge g) -> g
+    | Some (Registry.Mcounter _) ->
+      invalid_arg (Printf.sprintf "Fl_obs.Gauge.make: %S is a counter" name)
+    | None ->
+      let g = ref 0.0 in
+      Hashtbl.add registry.Registry.metrics name (Registry.Mgauge g);
+      g
+
+  let set g v = g := v
+  let value g = !g
+end
+
+let snapshot ?(registry = Registry.default) () =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | Registry.Mcounter c -> Int !c
+        | Registry.Mgauge g -> Float !g
+      in
+      (name, v) :: acc)
+    registry.Registry.metrics []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset_metrics ?(registry = Registry.default) () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Registry.Mcounter c -> c := 0
+      | Registry.Mgauge g -> g := 0.0)
+    registry.Registry.metrics
+
+let pp_snapshot fmt () =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Int i -> Format.fprintf fmt "%s = %d@." name i
+      | Float f -> Format.fprintf fmt "%s = %g@." name f
+      | String s -> Format.fprintf fmt "%s = %s@." name s
+      | Bool b -> Format.fprintf fmt "%s = %b@." name b)
+    (snapshot ())
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  exception Parse_error of string
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  (* %.17g round-trips any float; trim to %g when that already does. *)
+  let float_str f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else
+      let short = Printf.sprintf "%g" f in
+      if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+  let add_value buf = function
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_str f)
+    | String s -> escape buf s
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+  let value_to_string v =
+    let buf = Buffer.create 16 in
+    add_value buf v;
+    Buffer.contents buf
+
+  let string_to_string s =
+    let buf = Buffer.create 16 in
+    escape buf s;
+    Buffer.contents buf
+
+  let to_string e =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf "{\"ts\":";
+    add_value buf (Float e.ts);
+    Buffer.add_string buf ",\"event\":";
+    escape buf e.name;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        add_value buf v)
+      e.fields;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  (* Minimal recursive-descent parser for one flat object of scalars — the
+     exact language [to_string] emits (plus null, for robustness). *)
+  type cursor = { text : string; mutable pos : int }
+
+  let fail msg = raise (Parse_error msg)
+
+  let peek cur =
+    if cur.pos >= String.length cur.text then '\000' else cur.text.[cur.pos]
+
+  let skip_ws cur =
+    while
+      cur.pos < String.length cur.text
+      && (match cur.text.[cur.pos] with
+          | ' ' | '\t' | '\n' | '\r' -> true
+          | _ -> false)
+    do
+      cur.pos <- cur.pos + 1
+    done
+
+  let expect cur c =
+    skip_ws cur;
+    if peek cur <> c then
+      fail (Printf.sprintf "expected %C at offset %d" c cur.pos)
+    else cur.pos <- cur.pos + 1
+
+  let parse_string cur =
+    expect cur '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if cur.pos >= String.length cur.text then fail "unterminated string"
+      else
+        let c = cur.text.[cur.pos] in
+        cur.pos <- cur.pos + 1;
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+          (if cur.pos >= String.length cur.text then fail "bad escape"
+           else
+             let e = cur.text.[cur.pos] in
+             cur.pos <- cur.pos + 1;
+             match e with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+               if cur.pos + 4 > String.length cur.text then fail "bad \\u"
+               else begin
+                 let hex = String.sub cur.text cur.pos 4 in
+                 cur.pos <- cur.pos + 4;
+                 let code =
+                   try int_of_string ("0x" ^ hex)
+                   with _ -> fail "bad \\u digits"
+                 in
+                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                 else
+                   (* Non-ASCII escapes are not produced by to_string;
+                      decode to UTF-8 for completeness. *)
+                   Buffer.add_string buf
+                     (if code < 0x800 then
+                        let b0 = 0xC0 lor (code lsr 6)
+                        and b1 = 0x80 lor (code land 0x3F) in
+                        Printf.sprintf "%c%c" (Char.chr b0) (Char.chr b1)
+                      else
+                        let b0 = 0xE0 lor (code lsr 12)
+                        and b1 = 0x80 lor ((code lsr 6) land 0x3F)
+                        and b2 = 0x80 lor (code land 0x3F) in
+                        Printf.sprintf "%c%c%c" (Char.chr b0) (Char.chr b1)
+                          (Char.chr b2))
+               end
+             | _ -> fail "bad escape");
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+
+  let parse_scalar cur =
+    skip_ws cur;
+    match peek cur with
+    | '"' -> String (parse_string cur)
+    | 't' ->
+      if cur.pos + 4 <= String.length cur.text
+         && String.sub cur.text cur.pos 4 = "true"
+      then begin
+        cur.pos <- cur.pos + 4;
+        Bool true
+      end
+      else fail "bad literal"
+    | 'f' ->
+      if cur.pos + 5 <= String.length cur.text
+         && String.sub cur.text cur.pos 5 = "false"
+      then begin
+        cur.pos <- cur.pos + 5;
+        Bool false
+      end
+      else fail "bad literal"
+    | 'n' ->
+      if cur.pos + 4 <= String.length cur.text
+         && String.sub cur.text cur.pos 4 = "null"
+      then begin
+        cur.pos <- cur.pos + 4;
+        String "null"
+      end
+      else fail "bad literal"
+    | c when c = '-' || (c >= '0' && c <= '9') ->
+      let start = cur.pos in
+      let is_float = ref false in
+      while
+        cur.pos < String.length cur.text
+        &&
+        match cur.text.[cur.pos] with
+        | '0' .. '9' | '-' | '+' -> true
+        | '.' | 'e' | 'E' ->
+          is_float := true;
+          true
+        | _ -> false
+      do
+        cur.pos <- cur.pos + 1
+      done;
+      let tok = String.sub cur.text start (cur.pos - start) in
+      if !is_float then
+        Float (try float_of_string tok with _ -> fail "bad number")
+      else Int (try int_of_string tok with _ -> fail "bad number")
+    | _ -> fail (Printf.sprintf "unexpected character at offset %d" cur.pos)
+
+  let of_string line =
+    let cur = { text = line; pos = 0 } in
+    expect cur '{';
+    let members = ref [] in
+    skip_ws cur;
+    if peek cur <> '}' then begin
+      let rec go () =
+        skip_ws cur;
+        let k = parse_string cur in
+        expect cur ':';
+        let v = parse_scalar cur in
+        members := (k, v) :: !members;
+        skip_ws cur;
+        if peek cur = ',' then begin
+          cur.pos <- cur.pos + 1;
+          go ()
+        end
+      in
+      go ()
+    end;
+    expect cur '}';
+    skip_ws cur;
+    if cur.pos <> String.length line then fail "trailing garbage";
+    let members = List.rev !members in
+    let ts =
+      match List.assoc_opt "ts" members with
+      | Some (Float f) -> f
+      | Some (Int i) -> float_of_int i
+      | _ -> fail "missing ts"
+    in
+    let name =
+      match List.assoc_opt "event" members with
+      | Some (String s) -> s
+      | _ -> fail "missing event"
+    in
+    let fields =
+      List.filter (fun (k, _) -> k <> "ts" && k <> "event") members
+    in
+    { ts; name; fields }
+end
+
+let jsonl_sink oc e =
+  output_string oc (Json.to_string e);
+  output_char oc '\n'
+
+let console_sink ?(oc = stderr) () e =
+  let tm = Unix.localtime e.ts in
+  let ms = int_of_float ((e.ts -. Float.of_int (int_of_float e.ts)) *. 1000.0) in
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf
+    (Printf.sprintf "%02d:%02d:%02d.%03d %s" tm.Unix.tm_hour tm.Unix.tm_min
+       tm.Unix.tm_sec ms e.name);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf
+        (match v with
+         | Int i -> string_of_int i
+         | Float f -> Printf.sprintf "%g" f
+         | String s -> s
+         | Bool b -> string_of_bool b))
+    e.fields;
+  Buffer.add_char buf '\n';
+  output_string oc (Buffer.contents buf);
+  flush oc

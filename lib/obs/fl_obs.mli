@@ -1,0 +1,143 @@
+(** Structured observability: counters, gauges, timed spans and an event
+    stream with pluggable sinks.
+
+    The whole stack (solver, attacks, view layer, benches) reports through
+    this module.  The design contract is {e zero overhead when no sink is
+    installed}: {!emit} and {!with_span} reduce to one branch on an empty
+    sink list, and callers are expected to guard field-list construction
+    with {!enabled}.  Counters and gauges are plain mutable cells — an
+    increment is one load/add/store whether or not anything is observing.
+
+    The module is deliberately dependency-free (only [Unix.gettimeofday]
+    for timestamps) so every layer of the repository can depend on it
+    without cycles. *)
+
+(** {1 Values and events} *)
+
+(** Field value of a structured event. *)
+type value = Int of int | Float of float | String of string | Bool of bool
+
+type event = {
+  ts : float;  (** Unix time at emission *)
+  name : string;  (** dotted event name, e.g. ["attack.iteration"] *)
+  fields : (string * value) list;
+}
+
+(** {1 Sinks}
+
+    A sink consumes every emitted event.  No sink is installed by default
+    (the "null sink"): emission is then a single list-emptiness check. *)
+
+type sink = event -> unit
+
+type sink_id
+
+(** [add_sink s] installs [s]; events flow to every installed sink. *)
+val add_sink : sink -> sink_id
+
+val remove_sink : sink_id -> unit
+
+(** [with_sink s f] installs [s] for the duration of [f] (exception-safe). *)
+val with_sink : sink -> (unit -> 'a) -> 'a
+
+(** [enabled ()] is [true] iff at least one sink is installed.  Guard any
+    non-trivial field construction with this. *)
+val enabled : unit -> bool
+
+(** [jsonl_sink oc] writes one JSON object per event per line to [oc]
+    (see {!Json.to_string} for the schema).  The caller owns [oc]. *)
+val jsonl_sink : out_channel -> sink
+
+(** [console_sink ?oc ()] writes human-readable one-liners
+    ([HH:MM:SS.mmm name k=v ...]) to [oc] (default [stderr]). *)
+val console_sink : ?oc:out_channel -> unit -> sink
+
+(** [emit ?fields name] sends an event to every sink; a no-op (single
+    branch) when none is installed. *)
+val emit : ?fields:(string * value) list -> string -> unit
+
+(** {1 Spans}
+
+    A span is a timed, nestable region.  When a sink is installed,
+    [with_span name f] emits ["span.begin"] (fields [depth]) on entry and
+    ["span.end"] (fields [depth], [dur_s]) on exit, exception-safely; with
+    no sink it is a bare call to [f].  [depth] is 0 for top-level spans and
+    grows with nesting. *)
+
+val with_span :
+  ?fields:(string * value) list -> string -> (unit -> 'a) -> 'a
+
+(** Current span nesting depth (0 outside any span). *)
+val span_depth : unit -> int
+
+(** {1 Counters and gauges}
+
+    Metrics live in named registries; {!Registry.default} ("fl") is where
+    the library layers register.  [make] is idempotent per (registry, name):
+    asking again returns the same cell, so modules can declare their
+    counters at top level without coordination. *)
+
+module Registry : sig
+  type t
+
+  val create : string -> t
+  val default : t
+  val name : t -> string
+end
+
+module Counter : sig
+  type t
+
+  (** [make ?registry name] is the (registry, name) counter, created at 0 on
+      first use. *)
+  val make : ?registry:Registry.t -> string -> t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?registry:Registry.t -> string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+(** [snapshot ?registry ()] is every counter and gauge of the registry as
+    (name, value) pairs, sorted by name.  Counters snapshot as [Int],
+    gauges as [Float]. *)
+val snapshot : ?registry:Registry.t -> unit -> (string * value) list
+
+(** [reset_metrics ?registry ()] zeroes every counter and gauge (for
+    benchmark isolation; existing handles stay valid). *)
+val reset_metrics : ?registry:Registry.t -> unit -> unit
+
+(** [pp_snapshot fmt ()] prints the default registry's snapshot, one
+    [name = value] per line. *)
+val pp_snapshot : Format.formatter -> unit -> unit
+
+(** {1 JSONL encoding} *)
+
+module Json : sig
+  exception Parse_error of string
+
+  (** [to_string e] is a single-line JSON object:
+      [{"ts":<float>,"event":<name>,<field>:<value>,...}].  Field order is
+      preserved.  Strings are escaped per JSON; floats print with enough
+      digits to round-trip. *)
+  val to_string : event -> string
+
+  (** [of_string line] parses a line produced by {!to_string} (any flat
+      JSON object with an ["event"] member and string/number/bool values).
+      @raise Parse_error on malformed input. *)
+  val of_string : string -> event
+
+  (** [value_to_string v] is the JSON encoding of one scalar (for builders
+      of larger JSON documents, e.g. the bench reports). *)
+  val value_to_string : value -> string
+
+  (** [string_to_string s] is [s] as a quoted, escaped JSON string. *)
+  val string_to_string : string -> string
+end

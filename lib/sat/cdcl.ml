@@ -11,8 +11,45 @@ type stats = {
   restarts : int;
   learned_clauses : int;
   learned_literals : int;
+  reductions : int;
   max_decision_level : int;
 }
+
+let zero_stats =
+  {
+    decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    restarts = 0;
+    learned_clauses = 0;
+    learned_literals = 0;
+    reductions = 0;
+    max_decision_level = 0;
+  }
+
+let add_stats a b =
+  {
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    conflicts = a.conflicts + b.conflicts;
+    restarts = a.restarts + b.restarts;
+    learned_clauses = a.learned_clauses + b.learned_clauses;
+    learned_literals = a.learned_literals + b.learned_literals;
+    reductions = a.reductions + b.reductions;
+    max_decision_level = max a.max_decision_level b.max_decision_level;
+  }
+
+let sub_stats a b =
+  {
+    decisions = a.decisions - b.decisions;
+    propagations = a.propagations - b.propagations;
+    conflicts = a.conflicts - b.conflicts;
+    restarts = a.restarts - b.restarts;
+    learned_clauses = a.learned_clauses - b.learned_clauses;
+    learned_literals = a.learned_literals - b.learned_literals;
+    reductions = a.reductions - b.reductions;
+    max_decision_level = a.max_decision_level;
+  }
 
 type budget = { max_conflicts : int; deadline : float }
 
@@ -149,6 +186,13 @@ type t = {
   mutable n_learned_lits : int;
   mutable max_dl : int;
   mutable last_model : Bytes.t option;
+  (* periodic progress hook: fires every [progress_every] conflicts with the
+     stat deltas accumulated since the last firing.  [progress_next] is
+     [max_int] when disabled, so the hot-loop check is one int compare. *)
+  mutable progress_every : int;
+  mutable progress_next : int;
+  mutable progress_mark : stats;
+  mutable progress_cb : stats -> unit;
 }
 
 let create () =
@@ -183,9 +227,15 @@ let create () =
     n_learned_lits = 0;
     max_dl = 0;
     last_model = None;
+    progress_every = 0;
+    progress_next = max_int;
+    progress_mark = zero_stats;
+    progress_cb = ignore;
   }
 
 let num_vars s = s.nvars
+let num_clauses s = s.num_clauses
+let num_learnts s = s.learnt_count
 
 let ensure_vars s n =
   if n > s.nvars then begin
@@ -233,6 +283,18 @@ let value_lit s l =
 (* 1 = true, 2 = false, 0 = undef *)
 
 let decision_level s = Vec.size s.trail_lim
+
+let stats s =
+  {
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    conflicts = s.n_conflicts;
+    restarts = s.n_restarts;
+    learned_clauses = s.n_learned;
+    learned_literals = s.n_learned_lits;
+    reductions = s.reductions;
+    max_decision_level = s.max_dl;
+  }
 
 let enqueue s l reason =
   let v = var_of l in
@@ -603,6 +665,12 @@ let search s assumptions budget conflict_budget start_conflicts =
         s.n_learned_lits <- s.n_learned_lits + Array.length learnt;
         var_decay s;
         cla_decay s;
+        if s.n_conflicts >= s.progress_next then begin
+          let now = stats s in
+          s.progress_cb (sub_stats now s.progress_mark);
+          s.progress_mark <- now;
+          s.progress_next <- s.n_conflicts + s.progress_every
+        end;
         if out_of_budget budget s start_conflicts then raise (Found Unknown)
       end
       else begin
@@ -694,24 +762,25 @@ let model s =
   | None -> invalid_arg "Cdcl.model: no model (last solve was not Sat)"
   | Some m -> Array.init (Bytes.length m + 1) (fun i -> i > 0 && Bytes.get m (i - 1) = '\001')
 
-let stats s =
-  {
-    decisions = s.n_decisions;
-    propagations = s.n_propagations;
-    conflicts = s.n_conflicts;
-    restarts = s.n_restarts;
-    learned_clauses = s.n_learned;
-    learned_literals = s.n_learned_lits;
-    max_decision_level = s.max_dl;
-  }
+let set_progress s ~every cb =
+  if every <= 0 then invalid_arg "Cdcl.set_progress: every must be positive";
+  s.progress_every <- every;
+  s.progress_next <- s.n_conflicts + every;
+  s.progress_mark <- stats s;
+  s.progress_cb <- cb
+
+let clear_progress s =
+  s.progress_every <- 0;
+  s.progress_next <- max_int;
+  s.progress_cb <- ignore
 
 let pp_stats fmt st =
   Format.fprintf fmt
-    "decisions %d, propagations %d, conflicts %d, restarts %d, learned %d (avg len %.1f), max level %d"
+    "decisions %d, propagations %d, conflicts %d, restarts %d, learned %d (avg len %.1f), reductions %d, max level %d"
     st.decisions st.propagations st.conflicts st.restarts st.learned_clauses
     (if st.learned_clauses = 0 then 0.0
      else float_of_int st.learned_literals /. float_of_int st.learned_clauses)
-    st.max_decision_level
+    st.reductions st.max_decision_level
 
 let solve_formula ?budget f =
   let s = of_formula f in

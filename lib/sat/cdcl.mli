@@ -21,8 +21,19 @@ type stats = {
   restarts : int;
   learned_clauses : int;
   learned_literals : int;
+  reductions : int;  (** learnt-database reductions *)
   max_decision_level : int;
 }
+
+val zero_stats : stats
+
+(** [add_stats a b] sums the monotone fields; [max_decision_level] takes the
+    max. *)
+val add_stats : stats -> stats -> stats
+
+(** [sub_stats a b] is the per-field delta [a - b] of the monotone fields;
+    [max_decision_level] (a running max, not a counter) is kept from [a]. *)
+val sub_stats : stats -> stats -> stats
 
 (** Resource budget for one {!solve} call.  [max_conflicts < 0] and
     [deadline < 0.] mean unlimited. *)
@@ -61,8 +72,26 @@ val value : t -> int -> bool
 val model : t -> bool array
 
 val num_vars : t -> int
+
+(** Current clause count in the arena (problem + live learnt clauses). *)
+val num_clauses : t -> int
+
+(** Live learnt clauses (shrinks when the database is reduced, unlike the
+    monotone [stats.learned_clauses]). *)
+val num_learnts : t -> int
+
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+(** [set_progress s ~every cb] arms a periodic progress hook: during search,
+    after every [every] conflicts, [cb] is called with the stat deltas
+    accumulated since the previous firing (first firing: since arming).
+    One hook per solver; re-arming replaces it, {!clear_progress} disarms.
+    When disarmed the search loop pays one integer compare per conflict.
+    @raise Invalid_argument when [every <= 0]. *)
+val set_progress : t -> every:int -> (stats -> unit) -> unit
+
+val clear_progress : t -> unit
 
 (** [solve_formula ?budget f] is a convenience one-shot solve; returns the
     outcome, the model when Sat, and the stats. *)

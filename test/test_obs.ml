@@ -1,0 +1,338 @@
+(* Tests for Fl_obs: JSONL sink round-trip, span nesting and timing, metric
+   registries, the CDCL progress hook, and the contract that the
+   per-iteration attack records' solver-stat deltas sum to the session's
+   accumulated stats. *)
+
+module Obs = Fl_obs
+module Cdcl = Fl_sat.Cdcl
+module Generator = Fl_netlist.Generator
+module Sat_attack = Fl_attacks.Sat_attack
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let qcheck_case ?(count = 20) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Capture every event emitted while [f] runs. *)
+let record f =
+  let events = ref [] in
+  let r = Obs.with_sink (fun e -> events := e :: !events) f in
+  r, List.rev !events
+
+let field name e =
+  match List.assoc_opt name e.Obs.fields with
+  | Some v -> v
+  | None -> Alcotest.failf "event %s: missing field %S" e.Obs.name name
+
+let field_int name e =
+  match field name e with
+  | Obs.Int i -> i
+  | _ -> Alcotest.failf "event %s: field %S is not an Int" e.Obs.name name
+
+let field_float name e =
+  match field name e with
+  | Obs.Float f -> f
+  | _ -> Alcotest.failf "event %s: field %S is not a Float" e.Obs.name name
+
+(* ------------------------------------------------------------------ *)
+(* Sinks and emission                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_null_sink_is_default () =
+  check bool_t "disabled by default" false (Obs.enabled ());
+  (* Emitting with no sink is a no-op, not an error. *)
+  Obs.emit "nobody.listens" ~fields:[ "x", Obs.Int 1 ];
+  let (), events =
+    record (fun () ->
+        check bool_t "enabled under with_sink" true (Obs.enabled ()))
+  in
+  check int_t "no stray events" 0 (List.length events);
+  check bool_t "disabled again after with_sink" false (Obs.enabled ())
+
+let test_emit_reaches_all_sinks () =
+  let a = ref 0 and b = ref 0 in
+  Obs.with_sink
+    (fun _ -> incr a)
+    (fun () ->
+      Obs.with_sink
+        (fun _ -> incr b)
+        (fun () -> Obs.emit "ping");
+      Obs.emit "ping");
+  check int_t "outer sink saw both" 2 !a;
+  check int_t "inner sink saw one" 1 !b
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sample_events =
+  [
+    { Obs.ts = 1234.5; name = "attack.iteration";
+      fields =
+        [
+          "iter", Obs.Int 3;
+          "ratio", Obs.Float 3.77;
+          "dip", Obs.String "0101";
+          "converged", Obs.Bool false;
+        ] };
+    { Obs.ts = 0.0; name = "weird \"chars\"\n\ttest";
+      fields =
+        [
+          "neg", Obs.Int (-42);
+          "tiny", Obs.Float 1.5e-9;
+          "exact", Obs.Float 0.1;
+          "backslash", Obs.String "a\\b\"c\nd";
+          "yes", Obs.Bool true;
+        ] };
+    { Obs.ts = 1.75e9; name = "empty.fields"; fields = [] };
+  ]
+
+let event_eq a b =
+  a.Obs.name = b.Obs.name && a.Obs.ts = b.Obs.ts && a.Obs.fields = b.Obs.fields
+
+let test_jsonl_round_trip () =
+  List.iter
+    (fun e ->
+      let line = Obs.Json.to_string e in
+      check bool_t "single line" false (String.contains line '\n');
+      let back = Obs.Json.of_string line in
+      check bool_t
+        (Printf.sprintf "round-trip of %s" e.Obs.name)
+        true (event_eq e back))
+    sample_events
+
+let test_jsonl_file_round_trip () =
+  let path = Filename.temp_file "fl_obs_test" ".jsonl" in
+  let oc = open_out path in
+  let id = Obs.add_sink (Obs.jsonl_sink oc) in
+  List.iter (fun e -> Obs.emit ~fields:e.Obs.fields e.Obs.name) sample_events;
+  Obs.remove_sink id;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let parsed = List.rev_map Obs.Json.of_string !lines in
+  check int_t "one line per event" (List.length sample_events)
+    (List.length parsed);
+  List.iter2
+    (fun e p ->
+      check bool_t "name survives" true (e.Obs.name = p.Obs.name);
+      check bool_t "fields survive" true (e.Obs.fields = p.Obs.fields);
+      check bool_t "ts is emission time, recent" true (p.Obs.ts > 1.0e9))
+    sample_events parsed
+
+let test_jsonl_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      match Obs.Json.of_string bad with
+      | exception Obs.Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" bad)
+    [
+      "";
+      "{";
+      "not json";
+      "{\"ts\":1.0}";  (* no event member *)
+      "{\"event\":\"x\"}";  (* no ts *)
+      "{\"ts\":1.0,\"event\":\"x\"} trailing";
+      "{\"ts\":1.0,\"event\":\"x\",\"bad\":}";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting_and_timing () =
+  let (), events =
+    record (fun () ->
+        Obs.with_span "outer" (fun () ->
+            check int_t "depth inside outer" 1 (Obs.span_depth ());
+            Obs.with_span "inner" (fun () ->
+                check int_t "depth inside inner" 2 (Obs.span_depth ());
+                Unix.sleepf 0.002)))
+  in
+  check int_t "depth back to zero" 0 (Obs.span_depth ());
+  let names = List.map (fun e -> e.Obs.name) events in
+  Alcotest.(check (list string)) "begin/end pairing"
+    [ "span.begin:outer"; "span.begin:inner"; "span.end:inner";
+      "span.end:outer" ]
+    names;
+  let ev name = List.find (fun e -> e.Obs.name = name) events in
+  check int_t "outer depth field" 0 (field_int "depth" (ev "span.end:outer"));
+  check int_t "inner depth field" 1 (field_int "depth" (ev "span.end:inner"));
+  let outer_d = field_float "dur_s" (ev "span.end:outer") in
+  let inner_d = field_float "dur_s" (ev "span.end:inner") in
+  check bool_t "inner took measurable time" true (inner_d >= 0.001);
+  check bool_t "outer contains inner" true (outer_d >= inner_d)
+
+let test_span_exception_safe () =
+  let (), events =
+    record (fun () ->
+        (try Obs.with_span "boom" (fun () -> failwith "boom")
+         with Failure _ -> ()))
+  in
+  check int_t "depth restored after raise" 0 (Obs.span_depth ());
+  check bool_t "span.end emitted despite raise" true
+    (List.exists (fun e -> e.Obs.name = "span.end:boom") events)
+
+let test_span_without_sink_is_transparent () =
+  (* No sink: with_span must still run the thunk and return its value. *)
+  check int_t "value passes through" 42 (Obs.with_span "quiet" (fun () -> 42));
+  check int_t "depth untouched" 0 (Obs.span_depth ())
+
+(* ------------------------------------------------------------------ *)
+(* Counters, gauges, registries                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let reg = Obs.Registry.create "test" in
+  let c = Obs.Counter.make ~registry:reg "hits" in
+  let c' = Obs.Counter.make ~registry:reg "hits" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c' 4;
+  check int_t "same cell through both handles" 5 (Obs.Counter.value c);
+  let g = Obs.Gauge.make ~registry:reg "ratio" in
+  Obs.Gauge.set g 3.77;
+  (match Obs.snapshot ~registry:reg () with
+   | [ ("hits", Obs.Int 5); ("ratio", Obs.Float r) ] ->
+     check bool_t "gauge value" true (r = 3.77)
+   | other -> Alcotest.failf "unexpected snapshot (%d entries)" (List.length other));
+  Obs.reset_metrics ~registry:reg ();
+  check int_t "counter reset" 0 (Obs.Counter.value c);
+  check bool_t "gauge reset" true (Obs.Gauge.value g = 0.0);
+  (* A name cannot be both a counter and a gauge. *)
+  match Obs.Gauge.make ~registry:reg "hits" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "counter name reused as gauge"
+
+(* ------------------------------------------------------------------ *)
+(* CDCL progress hook                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cdcl_progress_hook () =
+  let rng = Random.State.make [| 11 |] in
+  let f = Fl_sat.Random_sat.fixed_length rng ~num_vars:60 ~num_clauses:258 ~k:3 in
+  let s = Cdcl.of_formula f in
+  let deltas = ref [] in
+  Cdcl.set_progress s ~every:16 (fun d -> deltas := d :: !deltas);
+  ignore (Cdcl.solve s);
+  let total = Cdcl.stats s in
+  check bool_t "instance was non-trivial" true (total.Cdcl.conflicts >= 16);
+  check bool_t "hook fired" true (!deltas <> []);
+  let sum =
+    List.fold_left Cdcl.add_stats Cdcl.zero_stats !deltas
+  in
+  check bool_t "delta conflicts never exceed total" true
+    (sum.Cdcl.conflicts <= total.Cdcl.conflicts);
+  List.iter
+    (fun d ->
+      check bool_t "each delta covers >= every conflicts" true
+        (d.Cdcl.conflicts >= 16))
+    !deltas
+
+(* ------------------------------------------------------------------ *)
+(* Attack records: deltas sum to Session.solver_stats                  *)
+(* ------------------------------------------------------------------ *)
+
+let is_record e =
+  match e.Obs.name with
+  | "attack.iteration" | "attack.exhausted" | "attack.timeout" -> true
+  | _ -> false
+
+let sum_records events =
+  List.fold_left
+    (fun acc e ->
+      if is_record e then
+        Cdcl.add_stats acc
+          {
+            Cdcl.decisions = field_int "decisions" e;
+            propagations = field_int "propagations" e;
+            conflicts = field_int "conflicts" e;
+            restarts = field_int "restarts" e;
+            learned_clauses = field_int "learned_clauses" e;
+            learned_literals = field_int "learned_literals" e;
+            reductions = field_int "reductions" e;
+            max_decision_level = field_int "max_decision_level" e;
+          }
+      else acc)
+    Cdcl.zero_stats events
+
+let attack_deltas_sum_prop seed =
+  let c =
+    Generator.random ~seed:(200 + seed) ~name:"obs-host"
+      { Generator.num_inputs = 5 + (seed mod 4);
+        num_outputs = 2 + (seed mod 3);
+        num_gates = 30 + (5 * (seed mod 8));
+        max_fanin = 3; and_bias = 0.8 }
+  in
+  let rng = Random.State.make [| seed; 0x0b5 |] in
+  let locked = Fl_locking.Rll.lock rng ~key_bits:(4 + (seed mod 5)) c in
+  let result, events = record (fun () -> Sat_attack.run ~timeout:30.0 locked) in
+  let iter_records =
+    List.filter (fun e -> e.Obs.name = "attack.iteration") events
+  in
+  (* One attack.iteration record per DIP, in order, 1-based. *)
+  let indices = List.map (field_int "iter") iter_records in
+  let expected_indices =
+    List.init result.Sat_attack.iterations (fun i -> i + 1)
+  in
+  if indices <> expected_indices then
+    QCheck2.Test.fail_reportf "iteration indices %s, expected 1..%d"
+      (String.concat "," (List.map string_of_int indices))
+      result.Sat_attack.iterations;
+  (* The record deltas must reproduce the accumulated session stats. *)
+  let sum = sum_records events in
+  let total = result.Sat_attack.solver in
+  if sum <> total then
+    QCheck2.Test.fail_reportf
+      "record deltas do not sum to solver stats:@.  sum   %a@.  total %a"
+      Cdcl.pp_stats sum Cdcl.pp_stats total;
+  true
+
+let () =
+  Alcotest.run "fl_obs"
+    [
+      ( "sinks",
+        [
+          Alcotest.test_case "null sink default" `Quick test_null_sink_is_default;
+          Alcotest.test_case "fan-out to all sinks" `Quick
+            test_emit_reaches_all_sinks;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "round-trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "file round-trip" `Quick
+            test_jsonl_file_round_trip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_jsonl_rejects_garbage;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and timing" `Quick
+            test_span_nesting_and_timing;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safe;
+          Alcotest.test_case "no-sink transparency" `Quick
+            test_span_without_sink_is_transparent;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );
+      ( "solver",
+        [
+          Alcotest.test_case "cdcl progress hook" `Quick
+            test_cdcl_progress_hook;
+        ] );
+      ( "attack-records",
+        [
+          qcheck_case "per-iteration deltas sum to Session.solver_stats"
+            QCheck2.Gen.(int_range 0 1000)
+            attack_deltas_sum_prop;
+        ] );
+    ]
