@@ -12,56 +12,65 @@ module Sps = Fl_attacks.Sps
 module Affine = Fl_attacks.Affine
 module Bypass = Fl_attacks.Bypass
 
-let coverage ~deep () =
+(* The sweep experiments below fan one row per Fl_par task; rows come back
+   in task-index order, so tables and summaries match --jobs 1 exactly. *)
+
+let coverage ~deep ~pool () =
   let sizes = if deep then [ 4; 8; 16 ] else [ 4; 8 ] in
-  let rows =
+  let tasks =
     List.concat_map
-      (fun n ->
-        let report spec label =
-          let r = Coverage.measure ~max_keys:(1 lsl 18) spec in
-          [
-            Printf.sprintf "%s N=%d" label n;
-            string_of_int r.Coverage.distinct_permutations;
-            string_of_int r.Coverage.total_permutations;
-            Printf.sprintf "%.2f%%" (100.0 *. Coverage.coverage_fraction r);
-            (if r.Coverage.exhaustive then "exhaustive"
-             else Printf.sprintf "sampled %d" r.Coverage.keys_examined);
-          ]
-        in
-        [
-          report (Cln.blocking_spec ~n) "blocking (omega)";
-          report (Cln.default_spec ~n) "almost non-blocking";
-        ])
+      (fun n -> [ n, `Blocking; n, `Non_blocking ])
       sizes
+  in
+  let rows =
+    Fl_par.map_list pool
+      (fun (n, kind) ->
+        let spec, label =
+          match kind with
+          | `Blocking -> Cln.blocking_spec ~n, "blocking (omega)"
+          | `Non_blocking -> Cln.default_spec ~n, "almost non-blocking"
+        in
+        let r = Coverage.measure ~max_keys:(1 lsl 18) spec in
+        [
+          Printf.sprintf "%s N=%d" label n;
+          string_of_int r.Coverage.distinct_permutations;
+          string_of_int r.Coverage.total_permutations;
+          Printf.sprintf "%.2f%%" (100.0 *. Coverage.coverage_fraction r);
+          (if r.Coverage.exhaustive then "exhaustive"
+           else Printf.sprintf "sampled %d" r.Coverage.keys_examined);
+        ])
+      tasks
+    |> List.map Fl_par.get
   in
   Tables.print
     ~title:"Section 3.1 — permutation coverage: blocking vs almost non-blocking CLN"
     [ "network"; "distinct perms"; "N!"; "coverage"; "method" ]
     rows;
+  Report.add_parallelism ~jobs:(Fl_par.jobs pool) (Fl_par.last_stats pool);
   print_endline
     "The blocking network realises only a sliver of the permutation space; the\n\
      LOG(N, log2N-2, 1) network approaches it — the basis of its SAT-hardness."
 
 let host ~scale = Bench_suite.load_scaled "c880" ~scale
 
-let removal ~deep () =
+let removal ~deep ~pool () =
   let scale = if deep then 2 else 4 in
-  let c = host ~scale in
   let cases =
     [
-      ("SARLock", fun rng -> Fl_locking.Sarlock.lock rng ~key_bits:8 c);
-      ("Anti-SAT", fun rng -> Fl_locking.Antisat.lock rng ~key_bits:16 c);
-      ("SFLL-HD (h=1)", fun rng -> Fl_locking.Sfll.lock rng ~key_bits:8 ~h:1 c);
-      ("RLL (XOR)", fun rng -> Fl_locking.Rll.lock rng ~key_bits:8 c);
-      ("Cross-Lock", fun rng -> Fl_locking.Cross_lock.lock rng ~n:8 c);
-      ("Full-Lock", fun rng -> Fulllock.lock_one rng ~n:8 c);
+      ("SARLock", fun rng c -> Fl_locking.Sarlock.lock rng ~key_bits:8 c);
+      ("Anti-SAT", fun rng c -> Fl_locking.Antisat.lock rng ~key_bits:16 c);
+      ("SFLL-HD (h=1)", fun rng c -> Fl_locking.Sfll.lock rng ~key_bits:8 ~h:1 c);
+      ("RLL (XOR)", fun rng c -> Fl_locking.Rll.lock rng ~key_bits:8 c);
+      ("Cross-Lock", fun rng c -> Fl_locking.Cross_lock.lock rng ~n:8 c);
+      ("Full-Lock", fun rng c -> Fulllock.lock_one rng ~n:8 c);
     ]
   in
   let rows =
-    List.map
+    Fl_par.map_list pool
       (fun (name, lock) ->
+        let c = host ~scale in
         let rng = Random.State.make [| Hashtbl.hash name |] in
-        let locked = lock rng in
+        let locked = lock rng c in
         let r = Removal.run locked in
         let sps = Sps.identifies_block locked in
         let bypass =
@@ -84,11 +93,13 @@ let removal ~deep () =
           bypass;
         ])
       cases
+    |> List.map Fl_par.get
   in
   Tables.print
     ~title:"Section 4.2.2 — removal, SPS and bypass attacks"
     [ "scheme"; "flip gates cut"; "MUXes bypassed"; "removal"; "SPS"; "bypass" ]
     rows;
+  Report.add_parallelism ~jobs:(Fl_par.jobs pool) (Fl_par.last_stats pool);
   print_endline
     "Point-function schemes are excised or bypassed outright; Full-Lock survives:\n\
      the twisted leading gates and key-programmed LUTs make every bypass guess\n\
@@ -129,26 +140,26 @@ let affine () =
     "A routing-only CLN is an affine map over GF(2) and falls to n+1 queries; the\n\
      LUT layer of the PLR destroys linearity (the paper's argument verbatim)."
 
-let corruption ~deep () =
+let corruption ~deep ~pool () =
   let scale = if deep then 2 else 4 in
-  let c = host ~scale in
   let cases =
     [
-      ("SARLock", fun rng -> Fl_locking.Sarlock.lock rng ~key_bits:8 c);
-      ("Anti-SAT", fun rng -> Fl_locking.Antisat.lock rng ~key_bits:16 c);
-      ("SFLL-HD (h=2)", fun rng -> Fl_locking.Sfll.lock rng ~key_bits:8 ~h:2 c);
-      ("RLL (XOR)", fun rng -> Fl_locking.Rll.lock rng ~key_bits:8 c);
-      ("LUT-Lock", fun rng -> Fl_locking.Lut_lock.lock rng ~gates:6 c);
-      ("Cyclic (SRC)", fun rng -> Fl_locking.Cyclic_lock.lock rng ~cycles:6 c);
-      ("Cross-Lock", fun rng -> Fl_locking.Cross_lock.lock rng ~n:8 c);
-      ("Full-Lock", fun rng -> Fulllock.lock_one rng ~n:8 c);
+      ("SARLock", fun rng c -> Fl_locking.Sarlock.lock rng ~key_bits:8 c);
+      ("Anti-SAT", fun rng c -> Fl_locking.Antisat.lock rng ~key_bits:16 c);
+      ("SFLL-HD (h=2)", fun rng c -> Fl_locking.Sfll.lock rng ~key_bits:8 ~h:2 c);
+      ("RLL (XOR)", fun rng c -> Fl_locking.Rll.lock rng ~key_bits:8 c);
+      ("LUT-Lock", fun rng c -> Fl_locking.Lut_lock.lock rng ~gates:6 c);
+      ("Cyclic (SRC)", fun rng c -> Fl_locking.Cyclic_lock.lock rng ~cycles:6 c);
+      ("Cross-Lock", fun rng c -> Fl_locking.Cross_lock.lock rng ~n:8 c);
+      ("Full-Lock", fun rng c -> Fulllock.lock_one rng ~n:8 c);
     ]
   in
   let rows =
-    List.map
+    Fl_par.map_list pool
       (fun (name, lock) ->
+        let c = host ~scale in
         let rng = Random.State.make [| Hashtbl.hash name; 3 |] in
-        let locked = lock rng in
+        let locked = lock rng c in
         let corr =
           Locked.output_corruption_fast ~trials:32 ~batches:2 locked
             (Random.State.make [| 4 |])
@@ -171,11 +182,13 @@ let corruption ~deep () =
           String.make (max 1 (int_of_float (40.0 *. Float.min 1.0 (corr *. 2.0)))) '#';
         ])
       cases
+    |> List.map Fl_par.get
   in
   Tables.print
     ~title:"Section 2 — output corruption under random wrong keys"
     [ "scheme"; "sampled (random keys)"; "exact (one wrong key, BDD)"; "profile" ]
     rows;
+  Report.add_parallelism ~jobs:(Fl_par.jobs pool) (Fl_par.last_stats pool);
   print_endline
     "Full-Lock corrupts broadly under wrong keys, unlike the point-function\n\
      schemes whose unactivated ICs behave almost correctly (the paper's critique)."

@@ -1,7 +1,7 @@
 (* Experiment harness: one sub-command per table/figure of the paper, plus
    the supplementary security experiments, ablations and micro benches.
 
-   Usage:  main.exe [experiment ...] [--deep] [--trace FILE]
+   Usage:  main.exe [experiment ...] [--deep] [--trace FILE] [--jobs N]
            main.exe all            (default; every experiment, scaled budget)
            main.exe micro          (Bechamel micro-benchmarks)
 
@@ -9,25 +9,30 @@
    2e6-second testbed budget.  --trace installs a JSONL Fl_obs sink: every
    structured event of the run (per-iteration attack records, solver
    progress, spans) is appended to FILE, one JSON object per line.
+   --jobs N sets the width of the Fl_par pool the sweep experiments
+   (table4, table5, fig7, coverage, removal, corruption) fan their
+   per-circuit attack runs through; the default is
+   recommended_domain_count - 1, and --jobs 1 runs every task inline on
+   the main domain — bit-for-bit the sequential behaviour.
 
    Each experiment also writes a machine-readable BENCH_<name>.json
    summary — wall time, the Fl_obs counter snapshot, and the fields the
    experiment registered through Report. *)
 
-let experiments ~deep =
+let experiments ~deep ~pool =
   [
     "fig1", (fun () -> Exp_fig1.run ~deep ());
     "table1", (fun () -> Exp_table1.run ());
     "table2", (fun () -> Exp_table2.run ~deep ());
     "table3", (fun () -> Exp_table3.run ~deep ());
-    "table4", (fun () -> Exp_table4.run ~deep ());
-    "table5", (fun () -> Exp_table5.run ~deep ());
+    "table4", (fun () -> Exp_table4.run ~deep ~pool ());
+    "table5", (fun () -> Exp_table5.run ~deep ~pool ());
     "fig5", (fun () -> Exp_fig5.run ());
-    "fig7", (fun () -> Exp_fig7.run ~deep ());
-    "coverage", (fun () -> Exp_security.coverage ~deep ());
-    "removal", (fun () -> Exp_security.removal ~deep ());
+    "fig7", (fun () -> Exp_fig7.run ~deep ~pool ());
+    "coverage", (fun () -> Exp_security.coverage ~deep ~pool ());
+    "removal", (fun () -> Exp_security.removal ~deep ~pool ());
     "affine", (fun () -> Exp_security.affine ());
-    "corruption", (fun () -> Exp_security.corruption ~deep ());
+    "corruption", (fun () -> Exp_security.corruption ~deep ~pool ());
     "bdd", (fun () -> Exp_bdd.run ~deep ());
     "ablate", (fun () -> Exp_ablate.run ~deep ());
     "micro", (fun () -> Exp_micro.run ());
@@ -36,24 +41,55 @@ let experiments ~deep =
 
 let usage_names table = "all" :: List.map fst table
 
+(* [take_opt flag args] strips every [flag VALUE] pair out of [args] and
+   returns the last VALUE seen (flags taking an argument all parse through
+   here, so they share the missing-argument diagnostic). *)
+let take_opt flag args =
+  let value = ref None in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | f :: v :: rest when f = flag ->
+      value := Some v;
+      go acc rest
+    | [ f ] when f = flag ->
+      Printf.eprintf "%s needs an argument\n" flag;
+      exit 2
+    | a :: rest -> go (a :: acc) rest
+  in
+  let rest = go [] args in
+  !value, rest
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* Split out --trace FILE before the experiment names. *)
-  let trace = ref None in
-  let rec strip_trace acc = function
-    | [] -> List.rev acc
-    | "--trace" :: file :: rest ->
-      trace := Some file;
-      strip_trace acc rest
-    | [ "--trace" ] ->
-      prerr_endline "--trace needs a file argument";
-      exit 2
-    | a :: rest -> strip_trace (a :: acc) rest
-  in
-  let args = strip_trace [] args in
+  let trace, args = take_opt "--trace" args in
+  let jobs_arg, args = take_opt "--jobs" args in
   let deep = List.mem "--deep" args in
   let selected = List.filter (fun a -> a <> "--deep") args in
-  let table = experiments ~deep in
+  (* Anything still dash-prefixed is a flag we don't know; reject it instead
+     of treating it as an (unknown) experiment name. *)
+  (match
+     List.filter (fun a -> String.length a > 0 && a.[0] = '-') selected
+   with
+   | [] -> ()
+   | unknown ->
+     List.iter
+       (fun flag ->
+         Printf.eprintf
+           "unknown flag %s; available: --deep, --trace FILE, --jobs N\n" flag)
+       unknown;
+     exit 2);
+  let jobs =
+    match jobs_arg with
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+    | Some s ->
+      (match int_of_string_opt s with
+       | Some n when n >= 1 -> n
+       | _ ->
+         Printf.eprintf "--jobs needs a positive integer, got %S\n" s;
+         exit 2)
+  in
+  let pool = Fl_par.create ~name:"bench" ~jobs () in
+  let table = experiments ~deep ~pool in
   (* Reject unknown names up front so `main.exe tabel4 fig7` fails fast
      instead of running fig7 first and erroring an hour in. *)
   (match
@@ -69,7 +105,7 @@ let () =
            (String.concat ", " (usage_names table)))
        unknown;
      exit 2);
-  (match !trace with
+  (match trace with
    | None -> ()
    | Some file ->
      let oc = open_out file in
@@ -84,9 +120,10 @@ let () =
     Report.write ~experiment:name ~wall_s:wall;
     Printf.printf "[%s done in %.1fs]\n%!" name wall
   in
-  match selected with
-  | [] | [ "all" ] ->
-    print_endline
-      "Full-Lock experiment suite (scaled budgets; pass --deep for longer runs)";
-    List.iter (fun (name, _) -> run_one name) table
-  | names -> List.iter run_one names
+  (match selected with
+   | [] | [ "all" ] ->
+     print_endline
+       "Full-Lock experiment suite (scaled budgets; pass --deep for longer runs)";
+     List.iter (fun (name, _) -> run_one name) table
+   | names -> List.iter run_one names);
+  Fl_par.shutdown pool

@@ -24,6 +24,17 @@ let add_bool name b = add name (Fl_obs.Bool b)
 (* [add_section name fields] nests [fields] as a JSON sub-object. *)
 let add_section name fields = entries := Section (name, fields) :: !entries
 
+(* [add_parallelism ~jobs stats] records a parallel sweep's pool accounting:
+   the pool width and the summed-task-time / wall-time ratio.  These are the
+   only fields of a sweep's summary expected to vary with --jobs. *)
+let add_parallelism ~jobs (s : Fl_par.batch_stats) =
+  add_int "jobs" jobs;
+  add_float "task_seconds" s.Fl_par.task_seconds;
+  add_float "speedup"
+    (if s.Fl_par.wall_seconds > 0.0 then
+       s.Fl_par.task_seconds /. s.Fl_par.wall_seconds
+     else 1.0)
+
 let buf_member buf ~first name value_str =
   if not !first then Buffer.add_string buf ",\n";
   first := false;

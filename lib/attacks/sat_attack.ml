@@ -21,10 +21,12 @@ type result = {
 
 type progress = int -> float -> unit
 
-let run ?(timeout = 60.0) ?(max_iterations = max_int) ?(progress = fun _ _ -> ())
-    ?extra_key_constraint ?(label = "sat") locked =
+let run ?(timeout = 60.0) ?max_conflicts ?(max_iterations = max_int)
+    ?(progress = fun _ _ -> ()) ?extra_key_constraint ?(label = "sat") locked =
   let deadline = Unix.gettimeofday () +. timeout in
-  let session = Session.create ?extra_key_constraint ~label ~deadline locked in
+  let session =
+    Session.create ?extra_key_constraint ~label ?max_conflicts ~deadline locked
+  in
   let finish status dips =
     let key_is_correct =
       match status with
@@ -34,9 +36,15 @@ let run ?(timeout = 60.0) ?(max_iterations = max_int) ?(progress = fun _ _ -> ()
            equivalence would be unsound). *)
         if Fl_netlist.View.is_acyclic (Fl_netlist.View.of_circuit locked.Locked.locked)
         then
-          Equiv.check_key
-            ~budget:(Cdcl.budget_seconds (max 5.0 timeout))
-            ~locked:locked.Locked.locked ~oracle:locked.Locked.oracle key
+          (* With a conflict budget the verification budget is conflict-based
+             too, keeping the whole result machine-load-independent. *)
+          let budget =
+            match max_conflicts with
+            | Some m -> Cdcl.budget_conflicts (max 10_000 m)
+            | None -> Cdcl.budget_seconds (max 5.0 timeout)
+          in
+          Equiv.check_key ~budget ~locked:locked.Locked.locked
+            ~oracle:locked.Locked.oracle key
           = Equiv.Equivalent
         else Locked.key_matches locked ~key
       | Timeout | Iteration_limit | No_key_found -> false

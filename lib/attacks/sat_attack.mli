@@ -13,7 +13,7 @@
 
 type status =
   | Broken of bool array  (** recovered key *)
-  | Timeout  (** wall-clock budget exhausted *)
+  | Timeout  (** budget exhausted — wall clock or conflict cap *)
   | Iteration_limit
   | No_key_found  (** miter UNSAT but no consistent key (cyclic pathology) *)
 
@@ -30,14 +30,20 @@ type result = {
 (** Hook called after each iteration with (iteration, elapsed seconds). *)
 type progress = int -> float -> unit
 
-(** [run ?timeout ?max_iterations ?progress ?extra_key_constraint ?label
-    locked] runs the attack.  [extra_key_constraint] (used by CycSAT) may
-    add clauses over a key-variable vector into a formula; it is applied to
-    both miter key copies and to the key-recovery formula.  [label]
-    (default ["sat"]) names the attack in the per-iteration {!Fl_obs}
-    records the underlying {!Session} emits (see {!Session.find_dip}). *)
+(** [run ?timeout ?max_conflicts ?max_iterations ?progress
+    ?extra_key_constraint ?label locked] runs the attack.
+    [extra_key_constraint] (used by CycSAT) may add clauses over a
+    key-variable vector into a formula; it is applied to both miter key
+    copies and to the key-recovery formula.  [max_conflicts] caps the total
+    solver conflicts of the attack (and makes the key-correctness check
+    conflict-budgeted too): a deterministic, machine-load-independent
+    budget, which is what the [Fl_par]-swept bench experiments use so
+    --jobs does not change outcomes.  [label] (default ["sat"]) names the
+    attack in the per-iteration {!Fl_obs} records the underlying {!Session}
+    emits (see {!Session.find_dip}). *)
 val run :
   ?timeout:float ->
+  ?max_conflicts:int ->
   ?max_iterations:int ->
   ?progress:progress ->
   ?extra_key_constraint:(Fl_cnf.Formula.t -> int array -> unit) ->

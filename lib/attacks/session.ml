@@ -1,9 +1,16 @@
 module Circuit = Fl_netlist.Circuit
+module View = Fl_netlist.View
 module Formula = Fl_cnf.Formula
 module Tseytin = Fl_cnf.Tseytin
 module Miter = Fl_cnf.Miter
 module Cdcl = Fl_sat.Cdcl
 module Locked = Fl_locking.Locked
+
+(* DIP-source split: how many DIPs came from the word-level screen vs a
+   miter solve, and how many screen passes ran. *)
+let c_dip_screened = Fl_obs.Counter.make "session.dip.screened"
+let c_dip_solver = Fl_obs.Counter.make "session.dip.solver"
+let c_screen_passes = Fl_obs.Counter.make "session.screen.passes"
 
 (* A formula paired with an incremental solver: [sync] feeds the solver only
    the clauses appended since the last call, so the DIP loop stays linear in
@@ -31,10 +38,23 @@ type t = {
   key_tracked : tracked;
   key_vars : int array;
   deadline : float;
+  conflict_budget : int option;
+      (* total solver conflicts the attack may spend; deterministic
+         alternative to the wall-clock deadline for parallel sweeps *)
   start : float;
   label : string;
   mutable iteration_count : int;
   mutable stats : Cdcl.stats;
+  (* Word-batched DIP screening state: the locked circuit's compiled view,
+     a small pool of key candidates (miter-model keys, all consistent with
+     every observation added so far) and a private deterministic RNG for
+     the candidate input vectors. *)
+  view : View.t;
+  mutable key_pool : bool array list;
+  mutable last_observed : bool array option;
+      (* most recent observed input vector; screening seeds half its
+         candidate lanes from perturbations of it *)
+  screen_rng : Random.State.t;
 }
 
 (* Fields of one solver-stat delta, shared by the per-iteration attack
@@ -65,7 +85,8 @@ let arm_progress label role solver =
              :: ("solver", Fl_obs.String role)
              :: stats_fields delta))
 
-let create ?extra_key_constraint ?(label = "sat") ~deadline locked =
+let create ?extra_key_constraint ?(label = "sat") ?max_conflicts ~deadline
+    locked =
   let circuit = locked.Locked.locked in
   let miter = Miter.build circuit in
   let key_formula = Formula.create () in
@@ -87,21 +108,41 @@ let create ?extra_key_constraint ?(label = "sat") ~deadline locked =
     key_tracked;
     key_vars;
     deadline;
+    conflict_budget = max_conflicts;
     start = Unix.gettimeofday ();
     label;
     iteration_count = 0;
     stats = Cdcl.zero_stats;
+    view = View.of_circuit circuit;
+    key_pool = [];
+    last_observed = None;
+    screen_rng =
+      Random.State.make
+        [| 0x5c3ee9; Circuit.num_inputs circuit; Circuit.num_keys circuit |];
   }
 
 let elapsed s = Unix.gettimeofday () -. s.start
-let out_of_time s = Unix.gettimeofday () > s.deadline
-let budget s = Cdcl.budget_seconds (s.deadline -. Unix.gettimeofday ())
+
+let conflicts_left s =
+  match s.conflict_budget with
+  | None -> None
+  | Some m -> Some (m - s.stats.Cdcl.conflicts)
+
+let out_of_time s =
+  Unix.gettimeofday () > s.deadline
+  || match conflicts_left s with Some left -> left <= 0 | None -> false
+
+let budget s =
+  let b = Cdcl.budget_seconds (s.deadline -. Unix.gettimeofday ()) in
+  match conflicts_left s with
+  | None -> b
+  | Some left -> { b with Cdcl.max_conflicts = max 1 left }
 
 (* One structured record per miter solve.  A Sat outcome is an attack
    iteration ("attack.iteration"); the final Unsat/Unknown solve is recorded
    too ("attack.exhausted" / "attack.timeout") so that summing the deltas of
    every record reproduces {!solver_stats} exactly. *)
-let emit_record s name ?dip delta =
+let emit_record s name ?dip ?(screened = false) delta =
   if Fl_obs.enabled () then begin
     let f = s.miter.Miter.formula in
     let fields =
@@ -113,6 +154,9 @@ let emit_record s name ?dip delta =
       :: ("clause_var_ratio", Fl_obs.Float (Formula.ratio f))
       :: ("elapsed_s", Fl_obs.Float (elapsed s))
       :: stats_fields delta
+    in
+    let fields =
+      if screened then fields @ [ "screened", Fl_obs.Bool true ] else fields
     in
     let fields =
       match dip with
@@ -129,28 +173,150 @@ let emit_record s name ?dip delta =
     Fl_obs.emit name ~fields
   end
 
+(* ------------------------------------------------------------------ *)
+(* Word-batched DIP screening                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The miter's Sat models hand us two concrete keys per iteration that are
+   consistent with every observation added so far (the I/O constraints are
+   asserted over both key copies).  Any input on which two such keys make
+   the locked circuit disagree is itself a satisfying miter assignment —
+   a genuine DIP — so before paying for a solver call we sweep [View.lanes]
+   random candidate vectors per pass through the word evaluator and look
+   for a disagreeing, fully-settled lane.  Each screened DIP's oracle
+   observation then eliminates at least one pool key (the two witnesses
+   disagree on it, the oracle fixes the truth), so at most [max_pool_keys]
+   consecutive screened iterations can occur before the solver runs:
+   termination arguments are unchanged. *)
+
+let max_pool_keys = 6
+let screen_passes_per_call = 4
+
+(* 63 random bits; [Random.State.bits] yields 30 per call. *)
+let random_word rng =
+  Random.State.bits rng
+  lor (Random.State.bits rng lsl 30)
+  lor (Random.State.bits rng lsl 60)
+
+(* A pool key stays only while the locked circuit under it settles to the
+   observed oracle outputs — i.e. while it remains a witness consistent
+   with the whole observation set. *)
+let key_consistent s ~inputs ~outputs key =
+  match View.eval s.view ~inputs ~keys:key with
+  | outs -> outs = outputs
+  | exception View.Unresolved _ -> false
+
+let add_pool_key s key =
+  if
+    List.length s.key_pool < max_pool_keys
+    && not (List.exists (fun k -> k = key) s.key_pool)
+  then s.key_pool <- s.key_pool @ [ key ]
+
+let lowest_bit w =
+  let rec go w i = if w land 1 = 1 then i else go (w lsr 1) (i + 1) in
+  go w 0
+
+let screen_dip s =
+  match s.key_pool with
+  | [] | [ _ ] -> None
+  | pool ->
+    let n = Circuit.num_inputs s.locked.Locked.locked in
+    let rec pass remaining =
+      if remaining = 0 then None
+      else begin
+        Fl_obs.Counter.incr c_screen_passes;
+        (* Alternate pass flavours: uniform-random lanes, and sparse
+           perturbations of the last observed input — two surviving pool
+           keys agree on every observation, so where they still differ is
+           usually near one, not at a uniformly random point. *)
+        let inputs =
+          match s.last_observed with
+          | Some base when remaining mod 2 = 0 ->
+            Array.init n (fun j ->
+                let noise =
+                  random_word s.screen_rng
+                  land random_word s.screen_rng
+                  land random_word s.screen_rng
+                in
+                (if base.(j) then -1 else 0) lxor noise)
+          | _ -> Array.init n (fun _ -> random_word s.screen_rng)
+        in
+        let words =
+          List.map
+            (fun k -> View.eval_words s.view ~inputs ~keys:(View.broadcast k))
+            pool
+        in
+        (* First pair of pool keys with a settled, differing output lane. *)
+        let rec pairs = function
+          | [] | [ _ ] -> pass (remaining - 1)
+          | wa :: rest ->
+            let rec against = function
+              | [] -> pairs rest
+              | wb :: more ->
+                let diff = ref 0 in
+                Array.iteri
+                  (fun i (a : View.word) ->
+                    let b : View.word = wb.(i) in
+                    diff :=
+                      !diff
+                      lor (a.View.defined land b.View.defined
+                           land (a.View.value lxor b.View.value)))
+                  wa;
+                if !diff = 0 then against more
+                else
+                  let l = lowest_bit !diff in
+                  Some (Array.init n (fun j -> inputs.(j) land (1 lsl l) <> 0))
+            in
+            against rest
+        in
+        pairs words
+      end
+    in
+    pass screen_passes_per_call
+
+(* One miter solve; shared by the screening and reference paths.
+   [record_models] feeds the model's two key vectors into the screening
+   pool. *)
+let solve_dip s ~record_models =
+  sync s.miter_tracked;
+  let solver = s.miter_tracked.solver in
+  let before = Cdcl.stats solver in
+  let outcome = Cdcl.solve ~budget:(budget s) solver in
+  let delta = Cdcl.sub_stats (Cdcl.stats solver) before in
+  s.stats <- Cdcl.add_stats s.stats delta;
+  match outcome with
+  | Cdcl.Unknown ->
+    emit_record s "attack.timeout" delta;
+    `Timeout
+  | Cdcl.Unsat ->
+    emit_record s "attack.exhausted" delta;
+    `Exhausted
+  | Cdcl.Sat ->
+    s.iteration_count <- s.iteration_count + 1;
+    Fl_obs.Counter.incr c_dip_solver;
+    let dip = Array.map (fun v -> Cdcl.value solver v) s.miter.Miter.inputs in
+    if record_models then begin
+      add_pool_key s
+        (Array.map (fun v -> Cdcl.value solver v) s.miter.Miter.keys_a);
+      add_pool_key s
+        (Array.map (fun v -> Cdcl.value solver v) s.miter.Miter.keys_b)
+    end;
+    emit_record s "attack.iteration" ~dip delta;
+    `Dip dip
+
 let find_dip s =
   if out_of_time s then `Timeout
-  else begin
-    sync s.miter_tracked;
-    let solver = s.miter_tracked.solver in
-    let before = Cdcl.stats solver in
-    let outcome = Cdcl.solve ~budget:(budget s) solver in
-    let delta = Cdcl.sub_stats (Cdcl.stats solver) before in
-    s.stats <- Cdcl.add_stats s.stats delta;
-    match outcome with
-    | Cdcl.Unknown ->
-      emit_record s "attack.timeout" delta;
-      `Timeout
-    | Cdcl.Unsat ->
-      emit_record s "attack.exhausted" delta;
-      `Exhausted
-    | Cdcl.Sat ->
+  else
+    match screen_dip s with
+    | Some dip ->
       s.iteration_count <- s.iteration_count + 1;
-      let dip = Array.map (fun v -> Cdcl.value solver v) s.miter.Miter.inputs in
-      emit_record s "attack.iteration" ~dip delta;
+      Fl_obs.Counter.incr c_dip_screened;
+      emit_record s "attack.iteration" ~dip ~screened:true Cdcl.zero_stats;
       `Dip dip
-  end
+    | None -> solve_dip s ~record_models:true
+
+let find_dip_reference s =
+  if out_of_time s then `Timeout else solve_dip s ~record_models:false
 
 let constrain_io s ~inputs ~outputs =
   let circuit = s.locked.Locked.locked in
@@ -158,7 +324,11 @@ let constrain_io s ~inputs ~outputs =
   let key_formula = s.key_tracked.formula in
   let enc = Tseytin.encode ~share_keys:s.key_vars key_formula circuit in
   Tseytin.assert_vector key_formula enc.Tseytin.input_vars inputs;
-  Tseytin.assert_vector key_formula enc.Tseytin.output_vars outputs
+  Tseytin.assert_vector key_formula enc.Tseytin.output_vars outputs;
+  s.last_observed <- Some (Array.copy inputs);
+  (* Pool keys must stay consistent with the full observation set. *)
+  if s.key_pool <> [] then
+    s.key_pool <- List.filter (key_consistent s ~inputs ~outputs) s.key_pool
 
 let observe s dip =
   let outputs = Locked.query_oracle s.locked dip in

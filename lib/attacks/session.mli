@@ -5,30 +5,55 @@
 
 type t
 
-(** [create ?extra_key_constraint ?label ~deadline locked] builds the miter
-    and the key-recovery formula; [extra_key_constraint] is asserted over
-    both miter key copies and the recovery keys.  [deadline] is an absolute
-    Unix time.  [label] (default ["sat"]) names the attack in every
-    {!Fl_obs} record the session emits. *)
+(** [create ?extra_key_constraint ?label ?max_conflicts ~deadline locked]
+    builds the miter and the key-recovery formula; [extra_key_constraint] is
+    asserted over both miter key copies and the recovery keys.  [deadline]
+    is an absolute Unix time.  [max_conflicts] additionally caps the total
+    solver conflicts the session may spend — a machine-load-independent
+    budget, so sweeps run under {!Fl_par} reach the same outcome at any
+    [--jobs] width (the wall deadline is contention-sensitive).  [label]
+    (default ["sat"]) names the attack in every {!Fl_obs} record the
+    session emits. *)
 val create :
   ?extra_key_constraint:(Fl_cnf.Formula.t -> int array -> unit) ->
   ?label:string ->
+  ?max_conflicts:int ->
   deadline:float ->
   Fl_locking.Locked.t ->
   t
 
-(** [find_dip s] solves the miter for the next discriminating input
-    pattern.  Increments the iteration counter on success.
+(** [find_dip s] finds the next discriminating input pattern.  Increments
+    the iteration counter on success.
 
-    When an {!Fl_obs} sink is installed, every miter solve emits one
+    Before touching the solver it {e screens} candidate vectors through the
+    circuit's word evaluator ({!Fl_netlist.View.eval_words}, 63 vectors per
+    pass): the session keeps a small pool of key witnesses harvested from
+    earlier miter models — all consistent with every observation so far —
+    and any input on which two pool keys disagree (on a settled lane) is
+    itself a satisfying miter assignment, i.e. a genuine DIP, returned
+    without a solver call.  Observing a screened DIP evicts at least one
+    of the disagreeing witnesses from the pool, so at most pool-size
+    consecutive screened iterations can occur before the miter is solved
+    again; termination and correctness match {!find_dip_reference}.
+
+    When an {!Fl_obs} sink is installed, every iteration emits one
     structured record — ["attack.iteration"] (with the DIP) on success,
     ["attack.exhausted"] / ["attack.timeout"] for the final solve — carrying
     the attack label, scheme, iteration index, the formula's clause/var
     counts and ratio, elapsed seconds, and the solver-stat deltas of that
-    solve.  Summing the deltas over all records of a session reproduces
-    {!solver_stats} exactly.  The session solvers also report
-    ["cdcl.progress"] deltas every 2048 conflicts mid-solve. *)
+    solve.  Screened iterations carry a ["screened" = true] field and
+    all-zero deltas, so summing the deltas over all records of a session
+    still reproduces {!solver_stats} exactly.  The session solvers also
+    report ["cdcl.progress"] deltas every 2048 conflicts mid-solve.  The
+    ["session.dip.screened"] / ["session.dip.solver"] counters split DIPs
+    by source; ["session.screen.passes"] counts word-evaluator sweeps. *)
 val find_dip : t -> [ `Dip of bool array | `Exhausted | `Timeout ]
+
+(** [find_dip_reference s] is the pure-solver path: every DIP comes from a
+    miter solve, no screening pool is consulted or populated.  Kept as the
+    oracle for tests asserting that the screened loop recovers the same
+    keys. *)
+val find_dip_reference : t -> [ `Dip of bool array | `Exhausted | `Timeout ]
 
 (** [observe s dip] queries the oracle on [dip] and constrains both key
     copies and the recovery formula with the observed behaviour. *)

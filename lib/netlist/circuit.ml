@@ -278,7 +278,9 @@ let compute_topological_order c =
 
 (* Memoized per circuit physical identity (circuits are immutable).  The
    ephemeron keys let cached orders die with their circuits.  Consumers must
-   treat the returned array as read-only — it is shared. *)
+   treat the returned array as read-only — it is shared.  The table itself
+   is domain-local (Fl_par workers each memoize their own orders), so no
+   lock sits on this hot lookup. *)
 module Topo_cache = Ephemeron.K1.Make (struct
   type nonrec t = t
 
@@ -286,9 +288,11 @@ module Topo_cache = Ephemeron.K1.Make (struct
   let hash c = Hashtbl.hash (Array.length c.nodes, c.name)
 end)
 
-let topo_cache : int array option Topo_cache.t = Topo_cache.create 64
+let topo_cache_key : int array option Topo_cache.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Topo_cache.create 64)
 
 let topological_order c =
+  let topo_cache = Domain.DLS.get topo_cache_key in
   match Topo_cache.find_opt topo_cache c with
   | Some r -> r
   | None ->

@@ -122,7 +122,12 @@ let build c =
   }
 
 (* Views are memoized per circuit physical identity (circuits are
-   immutable); the ephemeron keys let views die with their circuits. *)
+   immutable); the ephemeron keys let views die with their circuits.
+
+   The cache is domain-local: a view's scratch arrays are single-threaded
+   state, so two domains must never share one view even for the same
+   circuit.  Each domain (each Fl_par worker) builds and caches its own
+   views; the ephemeron contract is per domain. *)
 module Cache = Ephemeron.K1.Make (struct
   type t = Circuit.t
 
@@ -130,9 +135,11 @@ module Cache = Ephemeron.K1.Make (struct
   let hash c = Hashtbl.hash (Circuit.num_nodes c, c.Circuit.name)
 end)
 
-let cache : t Cache.t = Cache.create 64
+let cache_key : t Cache.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Cache.create 64)
 
 let of_circuit c =
+  let cache = Domain.DLS.get cache_key in
   match Cache.find_opt cache c with
   | Some v ->
     Fl_obs.Counter.incr c_cache_hits;

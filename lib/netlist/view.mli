@@ -9,12 +9,16 @@
 
     {!of_circuit} memoizes views per {!Circuit.t} {e physical identity}
     (circuits are immutable, so a view never goes stale); the table is
-    ephemeron-keyed, so views die with their circuits.  [Sim] and
+    ephemeron-keyed, so views die with their circuits, and {e domain-local}:
+    each domain builds and caches its own view of a circuit, because the
+    scratch arrays below are single-threaded state.  [Fl_par] sweep tasks
+    therefore get an isolated view per worker domain for free.  [Sim] and
     [Sim_word] are thin wrappers over this module and share one backend.
 
     Views are not re-entrant: the scratch value arrays are reused by every
     evaluation, so do not evaluate the same view from within an evaluation
-    of it (nothing in this codebase does). *)
+    of it (nothing in this codebase does), and never ship a view value
+    across domains — re-call {!of_circuit} on the receiving domain. *)
 
 type t
 

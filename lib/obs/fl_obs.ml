@@ -1,7 +1,17 @@
 (* Observability substrate.  Everything here is deliberately boring:
-   mutable cells for metrics, a list of sinks for events, gettimeofday for
-   clocks.  The one invariant that matters is the no-sink fast path — emit
-   and with_span must cost a single branch when nothing is listening. *)
+   striped atomic cells for metrics, a list of sinks for events,
+   gettimeofday for clocks.  The one invariant that matters is the no-sink
+   fast path — emit and with_span must cost a single branch when nothing is
+   listening.
+
+   Domain-safety (the Fl_par sweeps run attacks on worker domains):
+   counters stripe their cells by domain id, so concurrent increments land
+   on (mostly) distinct atomics and a read merges the stripes — the
+   "per-domain registries merged at join" design, with the merge done on
+   every read so nothing is lost if a domain is still running.  Sink
+   installation publishes through an [Atomic.t] and event delivery is
+   serialized by a mutex, keeping JSONL lines whole under parallel
+   emission.  Span depth is domain-local state. *)
 
 type value = Int of int | Float of float | String of string | Bool of bool
 
@@ -13,41 +23,57 @@ type sink_id = int
 (* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let sinks : (sink_id * sink) list ref = ref []
-let next_sink_id = ref 0
+let sinks : (sink_id * sink) list Atomic.t = Atomic.make []
+let next_sink_id = Atomic.make 0
+
+(* Serializes both sink-list mutation and event delivery; a sink body must
+   not emit (the mutex is not re-entrant). *)
+let sink_mutex = Mutex.create ()
 
 let add_sink s =
-  incr next_sink_id;
-  let id = !next_sink_id in
-  sinks := (id, s) :: !sinks;
+  let id = 1 + Atomic.fetch_and_add next_sink_id 1 in
+  Mutex.lock sink_mutex;
+  Atomic.set sinks ((id, s) :: Atomic.get sinks);
+  Mutex.unlock sink_mutex;
   id
 
-let remove_sink id = sinks := List.filter (fun (i, _) -> i <> id) !sinks
+let remove_sink id =
+  Mutex.lock sink_mutex;
+  Atomic.set sinks (List.filter (fun (i, _) -> i <> id) (Atomic.get sinks));
+  Mutex.unlock sink_mutex
 
 let with_sink s f =
   let id = add_sink s in
   Fun.protect ~finally:(fun () -> remove_sink id) f
 
-let enabled () = !sinks <> []
+let enabled () = Atomic.get sinks <> []
 
 let emit ?(fields = []) name =
-  match !sinks with
+  match Atomic.get sinks with
   | [] -> ()
-  | sinks ->
+  | installed ->
     let e = { ts = Unix.gettimeofday (); name; fields } in
-    List.iter (fun (_, s) -> s e) sinks
+    Mutex.lock sink_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock sink_mutex)
+      (fun () -> List.iter (fun (_, s) -> s e) installed)
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let depth = ref 0
+(* Nesting depth is per domain: spans opened on a worker domain do not
+   perturb the main domain's depth. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
-let span_depth () = !depth
+let depth () = Domain.DLS.get depth_key
+
+let span_depth () = !(depth ())
 
 let with_span ?(fields = []) name f =
   if not (enabled ()) then f ()
   else begin
+    let depth = depth () in
     let d = !depth in
     emit ~fields:(("depth", Int d) :: fields) ("span.begin:" ^ name);
     let t0 = Unix.gettimeofday () in
@@ -66,69 +92,93 @@ let with_span ?(fields = []) name f =
 (* Registries, counters, gauges                                        *)
 (* ------------------------------------------------------------------ *)
 
-module Registry = struct
-  type metric = Mcounter of int ref | Mgauge of float ref
-  type t = { rname : string; metrics : (string, metric) Hashtbl.t }
+(* Counters are striped: each domain increments the atomic cell its id
+   hashes to, and a read sums the stripes.  Uncontended in the common case
+   (stripe count >= active domains), always exact at read time. *)
+let stripes = 16 (* power of two *)
 
-  let create rname = { rname; metrics = Hashtbl.create 32 }
+let stripe_index () = (Domain.self () :> int) land (stripes - 1)
+
+module Registry = struct
+  type metric = Mcounter of int Atomic.t array | Mgauge of float Atomic.t
+
+  type t = {
+    rname : string;
+    metrics : (string, metric) Hashtbl.t;
+    lock : Mutex.t;  (* guards [metrics]; creation/snapshot only *)
+  }
+
+  let create rname =
+    { rname; metrics = Hashtbl.create 32; lock = Mutex.create () }
+
   let default = create "fl"
   let name r = r.rname
+
+  let locked r f =
+    Mutex.lock r.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
 end
 
 module Counter = struct
-  type t = int ref
+  type t = int Atomic.t array
 
   let make ?(registry = Registry.default) name =
-    match Hashtbl.find_opt registry.Registry.metrics name with
-    | Some (Registry.Mcounter c) -> c
-    | Some (Registry.Mgauge _) ->
-      invalid_arg (Printf.sprintf "Fl_obs.Counter.make: %S is a gauge" name)
-    | None ->
-      let c = ref 0 in
-      Hashtbl.add registry.Registry.metrics name (Registry.Mcounter c);
-      c
+    Registry.locked registry (fun () ->
+        match Hashtbl.find_opt registry.Registry.metrics name with
+        | Some (Registry.Mcounter c) -> c
+        | Some (Registry.Mgauge _) ->
+          invalid_arg
+            (Printf.sprintf "Fl_obs.Counter.make: %S is a gauge" name)
+        | None ->
+          let c = Array.init stripes (fun _ -> Atomic.make 0) in
+          Hashtbl.add registry.Registry.metrics name (Registry.Mcounter c);
+          c)
 
-  let incr c = Stdlib.incr c
-  let add c n = c := !c + n
-  let value c = !c
+  let incr c = Atomic.incr c.(stripe_index ())
+  let add c n = ignore (Atomic.fetch_and_add c.(stripe_index ()) n)
+  let value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c
 end
 
 module Gauge = struct
-  type t = float ref
+  type t = float Atomic.t
 
   let make ?(registry = Registry.default) name =
-    match Hashtbl.find_opt registry.Registry.metrics name with
-    | Some (Registry.Mgauge g) -> g
-    | Some (Registry.Mcounter _) ->
-      invalid_arg (Printf.sprintf "Fl_obs.Gauge.make: %S is a counter" name)
-    | None ->
-      let g = ref 0.0 in
-      Hashtbl.add registry.Registry.metrics name (Registry.Mgauge g);
-      g
+    Registry.locked registry (fun () ->
+        match Hashtbl.find_opt registry.Registry.metrics name with
+        | Some (Registry.Mgauge g) -> g
+        | Some (Registry.Mcounter _) ->
+          invalid_arg
+            (Printf.sprintf "Fl_obs.Gauge.make: %S is a counter" name)
+        | None ->
+          let g = Atomic.make 0.0 in
+          Hashtbl.add registry.Registry.metrics name (Registry.Mgauge g);
+          g)
 
-  let set g v = g := v
-  let value g = !g
+  let set g v = Atomic.set g v
+  let value g = Atomic.get g
 end
 
 let snapshot ?(registry = Registry.default) () =
-  Hashtbl.fold
-    (fun name m acc ->
-      let v =
-        match m with
-        | Registry.Mcounter c -> Int !c
-        | Registry.Mgauge g -> Float !g
-      in
-      (name, v) :: acc)
-    registry.Registry.metrics []
+  Registry.locked registry (fun () ->
+      Hashtbl.fold
+        (fun name m acc ->
+          let v =
+            match m with
+            | Registry.Mcounter c -> Int (Counter.value c)
+            | Registry.Mgauge g -> Float (Atomic.get g)
+          in
+          (name, v) :: acc)
+        registry.Registry.metrics [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let reset_metrics ?(registry = Registry.default) () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Registry.Mcounter c -> c := 0
-      | Registry.Mgauge g -> g := 0.0)
-    registry.Registry.metrics
+  Registry.locked registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Registry.Mcounter c -> Array.iter (fun cell -> Atomic.set cell 0) c
+          | Registry.Mgauge g -> Atomic.set g 0.0)
+        registry.Registry.metrics)
 
 let pp_snapshot fmt () =
   List.iter

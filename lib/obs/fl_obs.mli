@@ -5,8 +5,15 @@
     this module.  The design contract is {e zero overhead when no sink is
     installed}: {!emit} and {!with_span} reduce to one branch on an empty
     sink list, and callers are expected to guard field-list construction
-    with {!enabled}.  Counters and gauges are plain mutable cells — an
-    increment is one load/add/store whether or not anything is observing.
+    with {!enabled}.  Counters and gauges are striped atomic cells — an
+    increment is one uncontended atomic add whether or not anything is
+    observing.
+
+    The module is domain-safe (the [Fl_par] sweeps run attacks on worker
+    domains): counter increments stripe by domain id and reads merge the
+    stripes, so per-domain work always lands in the global snapshot;
+    event delivery to sinks is serialized, so JSONL lines stay whole under
+    parallel emission; span depth is domain-local.
 
     The module is deliberately dependency-free (only [Unix.gettimeofday]
     for timestamps) so every layer of the repository can depend on it
@@ -26,7 +33,9 @@ type event = {
 (** {1 Sinks}
 
     A sink consumes every emitted event.  No sink is installed by default
-    (the "null sink"): emission is then a single list-emptiness check. *)
+    (the "null sink"): emission is then a single list-emptiness check.
+    Delivery is serialized across domains; a sink body must not call
+    {!emit} (the serialization lock is not re-entrant). *)
 
 type sink = event -> unit
 
@@ -75,7 +84,12 @@ val span_depth : unit -> int
     Metrics live in named registries; {!Registry.default} ("fl") is where
     the library layers register.  [make] is idempotent per (registry, name):
     asking again returns the same cell, so modules can declare their
-    counters at top level without coordination. *)
+    counters at top level without coordination.
+
+    Counters are domain-safe: increments go to a per-domain stripe of
+    atomic cells and {!Counter.value} / {!snapshot} sum the stripes, so
+    work done on Fl_par worker domains is merged into the global totals
+    (the merge happens on every read — nothing is deferred to a join). *)
 
 module Registry : sig
   type t
