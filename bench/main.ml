@@ -10,7 +10,7 @@
    structured event of the run (per-iteration attack records, solver
    progress, spans) is appended to FILE, one JSON object per line.
    --jobs N sets the width of the Fl_par pool the sweep experiments
-   (table4, table5, fig7, coverage, removal, corruption) fan their
+   (table4, cnf, table5, fig7, coverage, removal, corruption) fan their
    per-circuit attack runs through; the default is
    recommended_domain_count - 1, and --jobs 1 runs every task inline on
    the main domain — bit-for-bit the sequential behaviour.
@@ -26,6 +26,7 @@ let experiments ~deep ~pool =
     "table2", (fun () -> Exp_table2.run ~deep ());
     "table3", (fun () -> Exp_table3.run ~deep ());
     "table4", (fun () -> Exp_table4.run ~deep ~pool ());
+    "cnf", (fun () -> Exp_cnf.run ~deep ~pool ());
     "table5", (fun () -> Exp_table5.run ~deep ~pool ());
     "fig5", (fun () -> Exp_fig5.run ());
     "fig7", (fun () -> Exp_fig7.run ~deep ~pool ());

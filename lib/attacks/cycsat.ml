@@ -136,7 +136,7 @@ let no_cycle_condition c =
           Formula.add_clause formula [ -r y ])
       heads
 
-let run ?timeout ?max_conflicts ?max_iterations ?progress locked =
+let run ?timeout ?max_conflicts ?max_iterations ?progress ?preprocess locked =
   let emitter = no_cycle_condition locked.Fl_locking.Locked.locked in
   Sat_attack.run ?timeout ?max_conflicts ?max_iterations ?progress
-    ~extra_key_constraint:emitter ~label:"cycsat" locked
+    ~extra_key_constraint:emitter ~label:"cycsat" ?preprocess locked

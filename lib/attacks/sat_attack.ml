@@ -22,10 +22,12 @@ type result = {
 type progress = int -> float -> unit
 
 let run ?(timeout = 60.0) ?max_conflicts ?(max_iterations = max_int)
-    ?(progress = fun _ _ -> ()) ?extra_key_constraint ?(label = "sat") locked =
+    ?(progress = fun _ _ -> ()) ?extra_key_constraint ?(label = "sat")
+    ?preprocess locked =
   let deadline = Unix.gettimeofday () +. timeout in
   let session =
-    Session.create ?extra_key_constraint ~label ?max_conflicts ~deadline locked
+    Session.create ?extra_key_constraint ~label ?max_conflicts ?preprocess
+      ~deadline locked
   in
   let finish status dips =
     let key_is_correct =

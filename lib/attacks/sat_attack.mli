@@ -40,7 +40,10 @@ type progress = int -> float -> unit
     budget, which is what the [Fl_par]-swept bench experiments use so
     --jobs does not change outcomes.  [label] (default ["sat"]) names the
     attack in the per-iteration {!Fl_obs} records the underlying {!Session}
-    emits (see {!Session.find_dip}). *)
+    emits (see {!Session.find_dip}).  [preprocess] is forwarded to
+    {!Session.create}: [true] (the default) runs the one-shot SatELite-style
+    simplification of the base miter, [false] is the reference
+    unpreprocessed path. *)
 val run :
   ?timeout:float ->
   ?max_conflicts:int ->
@@ -48,6 +51,7 @@ val run :
   ?progress:progress ->
   ?extra_key_constraint:(Fl_cnf.Formula.t -> int array -> unit) ->
   ?label:string ->
+  ?preprocess:bool ->
   Fl_locking.Locked.t ->
   result
 

@@ -4,6 +4,8 @@ module Formula = Fl_cnf.Formula
 module Tseytin = Fl_cnf.Tseytin
 module Miter = Fl_cnf.Miter
 module Cdcl = Fl_sat.Cdcl
+module Solver_intf = Fl_sat.Solver_intf
+module Preprocess = Fl_sat.Preprocess
 module Locked = Fl_locking.Locked
 
 (* DIP-source split: how many DIPs came from the word-level screen vs a
@@ -14,26 +16,60 @@ let c_screen_passes = Fl_obs.Counter.make "session.screen.passes"
 
 (* A formula paired with an incremental solver: [sync] feeds the solver only
    the clauses appended since the last call, so the DIP loop stays linear in
-   the number of iterations instead of rebuilding quadratically. *)
-type tracked = {
+   the number of iterations instead of rebuilding quadratically.  The solver
+   backend is existentially packed ({!Solver_intf.S}), so a session can run
+   on any backend while the attack loops stay first-order code. *)
+type 's tracked_s = {
+  solver : 's;
+  backend : (module Solver_intf.S with type t = 's);
   formula : Formula.t;
-  solver : Cdcl.t;
   mutable loaded : int;  (* clauses already in the solver *)
 }
 
-let tracked_of formula = { formula; solver = Cdcl.create (); loaded = 0 }
+type tracked = Tracked : 's tracked_s -> tracked
 
-let sync tr =
-  Cdcl.ensure_vars tr.solver (Formula.num_vars tr.formula);
-  let clauses = Formula.clauses tr.formula in
-  for i = tr.loaded to Array.length clauses - 1 do
-    Cdcl.add_clause_a tr.solver clauses.(i)
-  done;
-  tr.loaded <- Array.length clauses
+let tracked_of (backend : (module Solver_intf.S)) formula =
+  let (module B) = backend in
+  Tracked
+    {
+      solver = B.create ();
+      backend = (module B : Solver_intf.S with type t = B.t);
+      formula;
+      loaded = 0;
+    }
+
+let sync = function
+  | Tracked tr ->
+    let (module B) = tr.backend in
+    B.ensure_vars tr.solver (Formula.num_vars tr.formula);
+    let clauses = Formula.clauses tr.formula in
+    for i = tr.loaded to Array.length clauses - 1 do
+      B.add_clause_a tr.solver clauses.(i)
+    done;
+    tr.loaded <- Array.length clauses
+
+let tracked_stats = function
+  | Tracked tr ->
+    let (module B) = tr.backend in
+    B.stats tr.solver
+
+let tracked_solve t ~budget =
+  match t with
+  | Tracked tr ->
+    let (module B) = tr.backend in
+    B.solve ~budget tr.solver
+
+let tracked_model = function
+  | Tracked tr ->
+    let (module B) = tr.backend in
+    B.model tr.solver
 
 type t = {
   locked : Locked.t;
   miter : Miter.t;
+      (* when preprocessing ran, [miter.formula] is the reduced formula
+         (original variable numbering preserved) *)
+  pre : Preprocess.t option;
   miter_tracked : tracked;
   key_tracked : tracked;
   key_vars : int array;
@@ -76,34 +112,64 @@ let stats_fields (d : Cdcl.stats) =
    before the iteration record lands. *)
 let progress_conflict_period = 2048
 
-let arm_progress label role solver =
-  Cdcl.set_progress solver ~every:progress_conflict_period (fun delta ->
-      if Fl_obs.enabled () then
-        Fl_obs.emit "cdcl.progress"
-          ~fields:
-            (("attack", Fl_obs.String label)
-             :: ("solver", Fl_obs.String role)
-             :: stats_fields delta))
+let arm_progress label role = function
+  | Tracked tr ->
+    let (module B) = tr.backend in
+    B.set_progress tr.solver ~every:progress_conflict_period (fun delta ->
+        if Fl_obs.enabled () then
+          Fl_obs.emit "cdcl.progress"
+            ~fields:
+              (("attack", Fl_obs.String label)
+               :: ("solver", Fl_obs.String role)
+               :: stats_fields delta))
 
-let create ?extra_key_constraint ?(label = "sat") ?max_conflicts ~deadline
-    locked =
+(* The preprocessing frozen set: every variable later clauses may mention.
+   DIP constraints instantiate fresh circuit copies (fresh variables only)
+   and assert over the two key-variable copies; key-condition emitters
+   (CycSAT) touch the key copies; Appsat pins inputs of fresh copies.  The
+   outputs are frozen too so callers may constrain them directly. *)
+let frozen_vars (m : Miter.t) =
+  Array.concat
+    [ m.Miter.inputs; m.Miter.keys_a; m.Miter.keys_b;
+      m.Miter.outputs_a; m.Miter.outputs_b ]
+
+let create ?extra_key_constraint ?(label = "sat") ?max_conflicts
+    ?(preprocess = true) ?(backend = Solver_intf.cdcl) ~deadline locked =
   let circuit = locked.Locked.locked in
-  let miter = Miter.build circuit in
+  let miter0 = Miter.build circuit in
   let key_formula = Formula.create () in
   let key_vars = Formula.fresh_vars key_formula (Circuit.num_keys circuit) in
   (match extra_key_constraint with
    | Some add ->
      add key_formula key_vars;
-     add miter.Miter.formula miter.Miter.keys_a;
-     add miter.Miter.formula miter.Miter.keys_b
+     add miter0.Miter.formula miter0.Miter.keys_a;
+     add miter0.Miter.formula miter0.Miter.keys_b
    | None -> ());
-  let miter_tracked = tracked_of miter.Miter.formula in
-  let key_tracked = tracked_of key_formula in
-  arm_progress label "miter" miter_tracked.solver;
-  arm_progress label "key" key_tracked.solver;
+  (* Preprocess the base miter (including any extra key constraint, which
+     the simplifier may exploit) with the interface variables frozen.  The
+     key-recovery formula is not preprocessed: it grows by whole circuit
+     copies per observation, so a one-shot pass would be stale after the
+     first iteration.  An Unsat verdict here would mean the miter itself is
+     contradictory — defensively fall back to the unpreprocessed path. *)
+  let pre, miter =
+    if not preprocess then None, miter0
+    else begin
+      let p =
+        Preprocess.run ~label ~frozen:(frozen_vars miter0)
+          miter0.Miter.formula
+      in
+      if Preprocess.is_unsat p then None, miter0
+      else Some p, { miter0 with Miter.formula = Preprocess.formula p }
+    end
+  in
+  let miter_tracked = tracked_of backend miter.Miter.formula in
+  let key_tracked = tracked_of backend key_formula in
+  arm_progress label "miter" miter_tracked;
+  arm_progress label "key" key_tracked;
   {
     locked;
     miter;
+    pre;
     miter_tracked;
     key_tracked;
     key_vars;
@@ -276,13 +342,16 @@ let screen_dip s =
 
 (* One miter solve; shared by the screening and reference paths.
    [record_models] feeds the model's two key vectors into the screening
-   pool. *)
+   pool.  When the miter was preprocessed, the backend's model (of the
+   reduced formula) is first extended to a model of the original formula —
+   interface variables are frozen so their values pass through unchanged,
+   but reconstruction keeps the extraction honest about which formula the
+   model satisfies. *)
 let solve_dip s ~record_models =
   sync s.miter_tracked;
-  let solver = s.miter_tracked.solver in
-  let before = Cdcl.stats solver in
-  let outcome = Cdcl.solve ~budget:(budget s) solver in
-  let delta = Cdcl.sub_stats (Cdcl.stats solver) before in
+  let before = tracked_stats s.miter_tracked in
+  let outcome = tracked_solve s.miter_tracked ~budget:(budget s) in
+  let delta = Cdcl.sub_stats (tracked_stats s.miter_tracked) before in
   s.stats <- Cdcl.add_stats s.stats delta;
   match outcome with
   | Cdcl.Unknown ->
@@ -294,12 +363,15 @@ let solve_dip s ~record_models =
   | Cdcl.Sat ->
     s.iteration_count <- s.iteration_count + 1;
     Fl_obs.Counter.incr c_dip_solver;
-    let dip = Array.map (fun v -> Cdcl.value solver v) s.miter.Miter.inputs in
+    let model =
+      let m = tracked_model s.miter_tracked in
+      match s.pre with None -> m | Some p -> Preprocess.reconstruct p m
+    in
+    let value v = model.(v) in
+    let dip = Array.map value s.miter.Miter.inputs in
     if record_models then begin
-      add_pool_key s
-        (Array.map (fun v -> Cdcl.value solver v) s.miter.Miter.keys_a);
-      add_pool_key s
-        (Array.map (fun v -> Cdcl.value solver v) s.miter.Miter.keys_b)
+      add_pool_key s (Array.map value s.miter.Miter.keys_a);
+      add_pool_key s (Array.map value s.miter.Miter.keys_b)
     end;
     emit_record s "attack.iteration" ~dip delta;
     `Dip dip
@@ -321,7 +393,9 @@ let find_dip_reference s =
 let constrain_io s ~inputs ~outputs =
   let circuit = s.locked.Locked.locked in
   Miter.add_io_constraint s.miter circuit ~inputs ~outputs;
-  let key_formula = s.key_tracked.formula in
+  let key_formula =
+    match s.key_tracked with Tracked tr -> tr.formula
+  in
   let enc = Tseytin.encode ~share_keys:s.key_vars key_formula circuit in
   Tseytin.assert_vector key_formula enc.Tseytin.input_vars inputs;
   Tseytin.assert_vector key_formula enc.Tseytin.output_vars outputs;
@@ -336,13 +410,14 @@ let observe s dip =
 
 let candidate_key s =
   sync s.key_tracked;
-  let solver = s.key_tracked.solver in
-  let outcome = Cdcl.solve ~budget:(budget s) solver in
-  match outcome with
-  | Cdcl.Sat -> `Key (Array.map (fun v -> Cdcl.value solver v) s.key_vars)
+  match tracked_solve s.key_tracked ~budget:(budget s) with
+  | Cdcl.Sat ->
+    let model = tracked_model s.key_tracked in
+    `Key (Array.map (fun v -> model.(v)) s.key_vars)
   | Cdcl.Unsat -> `None
   | Cdcl.Unknown -> `Timeout
 
 let iterations s = s.iteration_count
 let solver_stats s = s.stats
 let clause_var_ratio s = Formula.ratio s.miter.Miter.formula
+let preprocess_stats s = Option.map Preprocess.stats s.pre

@@ -5,19 +5,33 @@
 
 type t
 
-(** [create ?extra_key_constraint ?label ?max_conflicts ~deadline locked]
-    builds the miter and the key-recovery formula; [extra_key_constraint] is
-    asserted over both miter key copies and the recovery keys.  [deadline]
-    is an absolute Unix time.  [max_conflicts] additionally caps the total
-    solver conflicts the session may spend — a machine-load-independent
-    budget, so sweeps run under {!Fl_par} reach the same outcome at any
-    [--jobs] width (the wall deadline is contention-sensitive).  [label]
-    (default ["sat"]) names the attack in every {!Fl_obs} record the
-    session emits. *)
+(** [create ?extra_key_constraint ?label ?max_conflicts ?preprocess
+    ?backend ~deadline locked] builds the miter and the key-recovery
+    formula; [extra_key_constraint] is asserted over both miter key copies
+    and the recovery keys.  [deadline] is an absolute Unix time.
+    [max_conflicts] additionally caps the total solver conflicts the
+    session may spend — a machine-load-independent budget, so sweeps run
+    under {!Fl_par} reach the same outcome at any [--jobs] width (the wall
+    deadline is contention-sensitive).  [label] (default ["sat"]) names the
+    attack in every {!Fl_obs} record the session emits.
+
+    [preprocess] (default [true]) runs {!Fl_sat.Preprocess} once over the
+    base miter — subsumption, self-subsuming resolution and bounded
+    variable elimination — with the miter's interface variables (shared
+    inputs, both key copies, both output vectors) frozen, so the clauses
+    the attack loop adds later remain sound against the reduced formula.
+    Models of the reduced formula are reconstructed to full models before
+    DIPs and pool keys are extracted.  Pass [~preprocess:false] for the
+    reference unpreprocessed path.
+
+    [backend] (default {!Fl_sat.Solver_intf.cdcl}) selects the incremental
+    SAT backend both session solvers run on. *)
 val create :
   ?extra_key_constraint:(Fl_cnf.Formula.t -> int array -> unit) ->
   ?label:string ->
   ?max_conflicts:int ->
+  ?preprocess:bool ->
+  ?backend:(module Fl_sat.Solver_intf.S) ->
   deadline:float ->
   Fl_locking.Locked.t ->
   t
@@ -69,6 +83,14 @@ val candidate_key : t -> [ `Key of bool array | `None | `Timeout ]
 
 val iterations : t -> int
 val solver_stats : t -> Fl_sat.Cdcl.stats
+
+(** Clauses-to-variables ratio of the session's miter formula (reduced, when
+    preprocessing ran, plus all incremental observation constraints). *)
 val clause_var_ratio : t -> float
+
+(** Statistics of the one-shot miter preprocessing pass; [None] when the
+    session was created with [~preprocess:false] (or the defensive
+    unpreprocessed fallback engaged). *)
+val preprocess_stats : t -> Fl_sat.Preprocess.stats option
 val elapsed : t -> float
 val out_of_time : t -> bool

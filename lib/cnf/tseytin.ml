@@ -16,21 +16,30 @@ let encode_xor2 f ~out a b =
   Formula.add_clause f [ a; -b; out ];
   Formula.add_clause f [ -a; b; out ]
 
-(* n-ary XOR via a chain of fresh variables; the final stage optionally
-   complements for XNOR. *)
+(* n-ary XOR via a balanced pairwise tree of fresh variables; the final
+   stage optionally complements for XNOR.  Same n-1 XOR2 stages (and thus
+   clause count and shapes) as a linear chain, but log instead of linear
+   depth, so unit propagation across a wide XOR resolves in O(log n)
+   implication steps. *)
 let encode_xor_chain f ~out ~negated fanins =
   let n = Array.length fanins in
   assert (n >= 2);
-  let rec chain acc i =
-    if i = n - 1 then acc
+  let rec reduce layer =
+    let m = Array.length layer in
+    if m <= 2 then layer
     else begin
-      let t = Formula.fresh_var f in
-      encode_xor2 f ~out:t acc fanins.(i);
-      chain t (i + 1)
+      let next = Array.make ((m + 1) / 2) 0 in
+      for i = 0 to (m / 2) - 1 do
+        let t = Formula.fresh_var f in
+        encode_xor2 f ~out:t layer.(2 * i) layer.(2 * i + 1);
+        next.(i) <- t
+      done;
+      if m land 1 = 1 then next.(((m + 1) / 2) - 1) <- layer.(m - 1);
+      reduce next
     end
   in
-  let last_in = chain fanins.(0) 1 in
-  let a = last_in and b = fanins.(n - 1) in
+  let pair = reduce fanins in
+  let a = pair.(0) and b = pair.(1) in
   if negated then begin
     (* out = XNOR(a, b) *)
     Formula.add_clause f [ -a; -b; out ];

@@ -3,7 +3,7 @@
 
     A fault's test miter instantiates the good and the faulty netlist on
     shared primary inputs (the faulty copy replaces the fault site with a
-    constant) and asks the CDCL solver for an input that makes some output
+    constant) and asks a SAT backend for an input that makes some output
     differ.  UNSAT is a {e proof} that the fault is untestable (redundant
     logic — locked netlists contain plenty around deselected MUX paths).
 
@@ -15,16 +15,6 @@ type outcome =
   | Untestable  (** proved redundant under the given key *)
   | Unknown  (** budget exhausted *)
 
-(** [generate ?budget c ~keys fault] — a test for [fault = (node, stuck_at)].
-    @raise Invalid_argument on cyclic circuits or a key-length mismatch. *)
-val generate :
-  ?budget:Cdcl.budget ->
-  Fl_netlist.Circuit.t ->
-  keys:bool array ->
-  node:int ->
-  stuck_at:bool ->
-  outcome
-
 type report = {
   tests : bool array list;  (** generated vectors (deduplicated) *)
   testable : int;
@@ -32,14 +22,33 @@ type report = {
   unknown : int;
 }
 
-(** [cover ?budget c ~keys ~faults] runs {!generate} for each (node,
-    stuck-at) pair, fault-simulating accumulated vectors first so easy
-    faults don't all pay a SAT call. *)
-val cover :
-  ?budget_per_fault:float ->
-  Fl_netlist.Circuit.t ->
-  keys:bool array ->
-  faults:(int * bool) list ->
-  report
+module type S = sig
+  (** [generate ?budget c ~keys fault] — a test for [fault = (node,
+      stuck_at)].
+      @raise Invalid_argument on cyclic circuits or a key-length mismatch. *)
+  val generate :
+    ?budget:Cdcl.budget ->
+    Fl_netlist.Circuit.t ->
+    keys:bool array ->
+    node:int ->
+    stuck_at:bool ->
+    outcome
+
+  (** [cover ?budget c ~keys ~faults] runs [generate] for each (node,
+      stuck-at) pair, fault-simulating accumulated vectors first so easy
+      faults don't all pay a SAT call. *)
+  val cover :
+    ?budget_per_fault:float ->
+    Fl_netlist.Circuit.t ->
+    keys:bool array ->
+    faults:(int * bool) list ->
+    report
+end
+
+(** ATPG over any {!Solver_intf.S} backend. *)
+module Make (_ : Solver_intf.S) : S
+
+(** The default instance, decided by {!Cdcl}. *)
+include S
 
 val pp_report : Format.formatter -> report -> unit

@@ -169,6 +169,11 @@ type t = {
   mutable level : int array;
   mutable reason : int array;  (* var -> clause index or -1 *)
   mutable watches : Vec.t array;  (* lit -> clause indices watching lit *)
+  mutable bin_watches : Vec.t array;
+      (* lit -> flat (implied_lit, clause_index) pairs, stride 2: binary
+         clauses propagate off this list without touching the clause
+         arena.  Entries are static — no watch surgery — and complete
+         (each binary clause is listed under both its literals). *)
   mutable activity : float array ref;
   mutable polarity : Bytes.t;  (* saved phase: 0 -> pick false first *)
   mutable seen : Bytes.t;  (* scratch for conflict analysis *)
@@ -211,6 +216,7 @@ let create () =
     level = Array.make 8 0;
     reason = Array.make 8 (-1);
     watches = Array.init 16 (fun _ -> Vec.create ());
+    bin_watches = Array.init 16 (fun _ -> Vec.create ());
     activity;
     polarity = Bytes.make 8 '\000';
     seen = Bytes.make 8 '\000';
@@ -262,7 +268,10 @@ let ensure_vars s n =
       s.activity := act';
       let watches' = Array.init (2 * cap) (fun _ -> Vec.create ()) in
       Array.blit s.watches 0 watches' 0 (Array.length s.watches);
-      s.watches <- watches'
+      s.watches <- watches';
+      let bin' = Array.init (2 * cap) (fun _ -> Vec.create ()) in
+      Array.blit s.bin_watches 0 bin' 0 (Array.length s.bin_watches);
+      s.bin_watches <- bin'
     end;
     for v = s.nvars to n - 1 do
       Heap.insert s.heap v
@@ -368,8 +377,16 @@ let push_clause ?(learnt = false) s clause =
   s.clause_act.(idx) <- 0.0;
   if learnt then s.learnt_count <- s.learnt_count + 1;
   s.num_clauses <- idx + 1;
-  Vec.push s.watches.(clause.(0)) idx;
-  Vec.push s.watches.(clause.(1)) idx;
+  if Array.length clause = 2 then begin
+    Vec.push s.bin_watches.(clause.(0)) clause.(1);
+    Vec.push s.bin_watches.(clause.(0)) idx;
+    Vec.push s.bin_watches.(clause.(1)) clause.(0);
+    Vec.push s.bin_watches.(clause.(1)) idx
+  end
+  else begin
+    Vec.push s.watches.(clause.(0)) idx;
+    Vec.push s.watches.(clause.(1)) idx
+  end;
   idx
 
 (* Add a problem clause; assumes trail is at level 0. *)
@@ -426,6 +443,23 @@ let propagate s =
     s.qhead <- s.qhead + 1;
     s.n_propagations <- s.n_propagations + 1;
     let false_lit = lneg p in
+    (* Binary fast path: every binary clause containing [false_lit] now
+       implies its other literal.  The list is static, so this is a flat
+       scan with no arena access and no watch-list surgery. *)
+    let bw = s.bin_watches.(false_lit) in
+    let nb = Vec.size bw in
+    let b = ref 0 in
+    while !conflict < 0 && !b < nb do
+      let other = Vec.get bw !b in
+      (match value_lit s other with
+       | 1 -> ()
+       | 2 ->
+         conflict := Vec.get bw (!b + 1);
+         s.qhead <- Vec.size s.trail
+       | _ -> enqueue s other (Vec.get bw (!b + 1)));
+      b := !b + 2
+    done;
+    if !conflict < 0 then begin
     let ws = s.watches.(false_lit) in
     let n = Vec.size ws in
     let j = ref 0 in
@@ -477,6 +511,7 @@ let propagate s =
       end
     done;
     Vec.shrink ws !j
+    end
   done;
   !conflict
 
@@ -494,11 +529,13 @@ let analyze s confl =
   while !continue do
     cla_bump s !confl;
     let clause = s.clauses.(!confl) in
-    let start = if !p = -1 then 0 else 1 in
-    for k = start to Array.length clause - 1 do
+    (* Skip the implied literal of a reason clause by value, not position:
+       binary reasons come off the static binary watch lists, which never
+       reorder the arena clause. *)
+    for k = 0 to Array.length clause - 1 do
       let q = clause.(k) in
       let v = var_of q in
-      if Bytes.get s.seen v = '\000' && s.level.(v) > 0 then begin
+      if q <> !p && Bytes.get s.seen v = '\000' && s.level.(v) > 0 then begin
         Bytes.set s.seen v '\001';
         marked := v :: !marked;
         var_bump s v;
@@ -612,24 +649,35 @@ let reduce_db s =
   (* Rebuild watches, preferring literals that are not permanently false so
      satisfied-then-unwound clauses keep live watches. *)
   for l = 0 to (2 * s.nvars) - 1 do
-    Vec.shrink s.watches.(l) 0
+    Vec.shrink s.watches.(l) 0;
+    Vec.shrink s.bin_watches.(l) 0
   done;
   for ci = 0 to s.num_clauses - 1 do
     let clause = s.clauses.(ci) in
     let len = Array.length clause in
-    let slot = ref 0 in
-    (let k = ref 0 in
-     while !slot < 2 && !k < len do
-       if value_lit s clause.(!k) <> 2 then begin
-         let tmp = clause.(!slot) in
-         clause.(!slot) <- clause.(!k);
-         clause.(!k) <- tmp;
-         incr slot
-       end;
-       incr k
-     done);
-    Vec.push s.watches.(clause.(0)) ci;
-    Vec.push s.watches.(clause.(1)) ci
+    if len = 2 then begin
+      (* Binary lists are static and complete (both directions); compaction
+         renumbered the arena, so re-register under the new index. *)
+      Vec.push s.bin_watches.(clause.(0)) clause.(1);
+      Vec.push s.bin_watches.(clause.(0)) ci;
+      Vec.push s.bin_watches.(clause.(1)) clause.(0);
+      Vec.push s.bin_watches.(clause.(1)) ci
+    end
+    else begin
+      let slot = ref 0 in
+      (let k = ref 0 in
+       while !slot < 2 && !k < len do
+         if value_lit s clause.(!k) <> 2 then begin
+           let tmp = clause.(!slot) in
+           clause.(!slot) <- clause.(!k);
+           clause.(!k) <- tmp;
+           incr slot
+         end;
+         incr k
+       done);
+      Vec.push s.watches.(clause.(0)) ci;
+      Vec.push s.watches.(clause.(1)) ci
+    end
   done;
   s.reductions <- s.reductions + 1
 

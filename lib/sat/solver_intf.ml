@@ -1,0 +1,51 @@
+(* Solver backend abstraction (ROADMAP item): everything the attack
+   framework needs from an incremental SAT solver behind one signature, so
+   a DPLL fallback, an external DIMACS solver or a different incremental
+   backend can slot in without touching the attack loops.  The shared
+   outcome/stats/budget vocabulary deliberately lives in {!Cdcl} — it is
+   the reference backend and the types predate the abstraction. *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+
+  (** [ensure_vars s n] makes variables [1..n] known to the solver. *)
+  val ensure_vars : t -> int -> unit
+
+  (** [add_clause s lits] adds a clause of DIMACS literals; callable
+      between [solve] calls (incremental). *)
+  val add_clause : t -> int list -> unit
+
+  val add_clause_a : t -> int array -> unit
+
+  val solve :
+    ?assumptions:int list -> ?budget:Cdcl.budget -> t -> Cdcl.outcome
+
+  (** Model access after a [Sat] answer. *)
+  val value : t -> int -> bool
+
+  val model : t -> bool array
+  val num_vars : t -> int
+  val num_clauses : t -> int
+  val stats : t -> Cdcl.stats
+
+  (** Periodic progress hook (see {!Cdcl.set_progress}); backends without
+      mid-solve reporting may treat these as no-ops. *)
+  val set_progress : t -> every:int -> (Cdcl.stats -> unit) -> unit
+
+  val clear_progress : t -> unit
+end
+
+(* The compile-time proof that {!Cdcl} implements the signature — and the
+   default backend handed to {!Fl_attacks.Session}. *)
+module Cdcl_backend : S with type t = Cdcl.t = Cdcl
+
+let cdcl : (module S) = (module Cdcl_backend)
+
+(* Backend-generic [Cdcl.of_formula]. *)
+let load (type s) (module B : S with type t = s) f : s =
+  let sv = B.create () in
+  B.ensure_vars sv (Fl_cnf.Formula.num_vars f);
+  Fl_cnf.Formula.iter_clauses f (B.add_clause_a sv);
+  sv

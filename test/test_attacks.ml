@@ -498,6 +498,47 @@ let test_screened_find_dip_matches_reference () =
   let total_screened = List.fold_left (fun acc s -> acc + try_seed s) 0 [ 7; 8; 9 ] in
   check bool_t "screening produced at least one DIP" true (total_screened > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Preprocessed vs reference attack paths                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_preprocessed_attack_matches_reference () =
+  (* Both paths must recover a functionally correct key (different search
+     orders may yield different-but-correct keys). *)
+  let attack_both name l =
+    let r_pre = Sat_attack.run ~timeout:120.0 ~preprocess:true l in
+    let r_ref = Sat_attack.run ~timeout:120.0 ~preprocess:false l in
+    check bool_t (name ^ ": preprocessed path breaks it") true
+      (broken_correct r_pre);
+    check bool_t (name ^ ": reference path breaks it") true (broken_correct r_ref)
+  in
+  let rng = Random.State.make [| 51 |] in
+  (* c17 is too small to host a Full-Lock block; RLL exercises the same
+     session machinery. *)
+  attack_both "c17"
+    (Fl_locking.Rll.lock rng ~key_bits:4 (Fl_netlist.Bench_suite.c17 ()));
+  let rng = Random.State.make [| 52 |] in
+  attack_both "c432/4"
+    (Fulllock.lock_one rng ~n:4 (Fl_netlist.Bench_suite.load_scaled "c432" ~scale:4))
+
+let test_session_preprocess_reduces () =
+  (* The default session runs the one-shot miter preprocessing and reports
+     a genuinely smaller formula. *)
+  let rng = Random.State.make [| 53 |] in
+  let l = Fulllock.lock_one rng ~n:4 (host ~gates:80 ()) in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let s = Session.create ~deadline l in
+  (match Session.preprocess_stats s with
+   | None -> Alcotest.fail "preprocessing should be on by default"
+   | Some st ->
+     check bool_t "clauses reduced" true
+       (st.Fl_sat.Preprocess.clauses_after < st.Fl_sat.Preprocess.clauses_before);
+     check bool_t "no variables resurrected" true
+       (st.Fl_sat.Preprocess.vars_after <= st.Fl_sat.Preprocess.vars_before));
+  let s_off = Session.create ~preprocess:false ~deadline l in
+  check bool_t "flag disables preprocessing" true
+    (Session.preprocess_stats s_off = None)
+
 let () =
   Alcotest.run "attacks"
     [
@@ -515,6 +556,10 @@ let () =
           Alcotest.test_case "ratio" `Quick test_sat_ratio_positive;
           Alcotest.test_case "screened dips = reference" `Quick
             test_screened_find_dip_matches_reference;
+          Alcotest.test_case "preprocessed = reference" `Slow
+            test_preprocessed_attack_matches_reference;
+          Alcotest.test_case "session preprocess reduces" `Quick
+            test_session_preprocess_reduces;
         ] );
       ( "cycsat",
         [

@@ -1,8 +1,9 @@
-(* Tests for Fl_sat: CDCL solver, DPLL solver, random k-SAT. *)
+(* Tests for Fl_sat: CDCL solver, DPLL solver, preprocessing, random k-SAT. *)
 
 module Formula = Fl_cnf.Formula
 module Cdcl = Fl_sat.Cdcl
 module Dpll = Fl_sat.Dpll
+module Preprocess = Fl_sat.Preprocess
 module Random_sat = Fl_sat.Random_sat
 
 let check = Alcotest.check
@@ -200,6 +201,143 @@ let test_dpll_abort () =
     (* solved within 3 calls: acceptable, nothing to check *)
     ()
 
+(* QCheck helpers, shared by the preprocessing and solver properties. *)
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let random_formula_gen =
+  QCheck2.Gen.(
+    let* num_vars = int_range 3 12 in
+    let* ratio_pct = int_range 100 700 in
+    let* seed = int_bound 1_000_000 in
+    return (num_vars, ratio_pct, seed))
+
+let make_formula (num_vars, ratio_pct, seed) =
+  let rng = Random.State.make [| seed |] in
+  let num_clauses = max 1 (num_vars * ratio_pct / 100) in
+  Random_sat.fixed_length rng ~num_vars ~num_clauses ~k:(min 3 num_vars)
+
+(* ------------------------------------------------------------------ *)
+(* Preprocessing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let formula_of nvars clause_lists =
+  let f = Formula.create () in
+  Formula.reserve f nvars;
+  List.iter (Formula.add_clause f) clause_lists;
+  f
+
+let all_vars f = Array.init (Formula.num_vars f) (fun i -> i + 1)
+
+let test_pre_taut_dup () =
+  let f = formula_of 2 [ [ 1; -1 ]; [ 1; 2 ]; [ 2; 1 ] ] in
+  let p = Preprocess.run ~frozen:(all_vars f) f in
+  let st = Preprocess.stats p in
+  check int_t "tautologies" 1 st.Preprocess.tautologies;
+  check int_t "duplicates" 1 st.Preprocess.duplicates;
+  check int_t "clauses after" 1 st.Preprocess.clauses_after;
+  check bool_t "sat" false (Preprocess.is_unsat p)
+
+let test_pre_subsumption () =
+  let f = formula_of 3 [ [ 1 ]; [ 1; 2; 3 ] ] in
+  let p = Preprocess.run ~frozen:(all_vars f) f in
+  let st = Preprocess.stats p in
+  check int_t "subsumed" 1 st.Preprocess.subsumed;
+  check int_t "clauses after" 1 st.Preprocess.clauses_after
+
+let test_pre_self_subsumption () =
+  (* [1;2] resolved against [-1;2;3] strengthens the latter to [2;3]. *)
+  let f = formula_of 3 [ [ 1; 2 ]; [ -1; 2; 3 ] ] in
+  let p = Preprocess.run ~frozen:(all_vars f) f in
+  let st = Preprocess.stats p in
+  check bool_t "strengthened" true (st.Preprocess.strengthened >= 1);
+  check int_t "clauses after" 2 st.Preprocess.clauses_after;
+  check int_t "literals after" 4 st.Preprocess.literals_after
+
+let test_pre_elimination_and_frozen () =
+  let f = formula_of 3 [ [ 1; 3 ]; [ -3; 2 ] ] in
+  (* 3 unfrozen: eliminated, leaving the single resolvent [1;2]. *)
+  let p = Preprocess.run ~frozen:[| 1; 2 |] f in
+  let st = Preprocess.stats p in
+  check int_t "eliminated" 1 st.Preprocess.eliminated;
+  check int_t "resolvents" 1 st.Preprocess.resolvents;
+  check int_t "clauses after" 1 st.Preprocess.clauses_after;
+  (* Everything frozen: nothing may be eliminated. *)
+  let p2 = Preprocess.run ~frozen:(all_vars f) f in
+  check int_t "frozen protected" 0 (Preprocess.stats p2).Preprocess.eliminated
+
+let test_pre_reconstruct () =
+  let f = formula_of 3 [ [ 1; 3 ]; [ -3; 2 ] ] in
+  let p = Preprocess.run ~frozen:[| 1; 2 |] f in
+  (* A model of the reduced formula ([1;2]) leaving the eliminated 3 to be
+     reconstructed: 1=false forces 3=true, which forces nothing else. *)
+  let m = Preprocess.reconstruct p [| false; false; true; false |] in
+  check bool_t "original satisfied" true (model_satisfies f m);
+  check bool_t "frozen 1 unchanged" false m.(1);
+  check bool_t "frozen 2 unchanged" true m.(2)
+
+let test_pre_unsat () =
+  let f = formula_of 1 [ [ 1 ]; [ -1 ] ] in
+  let p = Preprocess.run ~frozen:[||] f in
+  check bool_t "unsat" true (Preprocess.is_unsat p)
+
+let random_frozen_formula_gen =
+  QCheck2.Gen.(
+    let* params = random_formula_gen in
+    let* frozen_pct = int_range 0 100 in
+    return (params, frozen_pct))
+
+let prop_preprocess_preserves_sat =
+  qcheck_case ~count:200 "preprocess preserves satisfiability"
+    random_frozen_formula_gen (fun ((num_vars, _, _) as params, frozen_pct) ->
+      let f = make_formula params in
+      let frozen =
+        Array.init (num_vars * frozen_pct / 100) (fun i -> i + 1)
+      in
+      let p = Preprocess.run ~frozen f in
+      if Preprocess.is_unsat p then not (brute_sat f)
+      else
+        match Cdcl.solve_formula (Preprocess.formula p) with
+        | Cdcl.Sat, Some m, _ ->
+          (* The reconstructed model must satisfy the original clause by
+             clause, with frozen values passed through unchanged. *)
+          let full = Preprocess.reconstruct p m in
+          brute_sat f
+          && model_satisfies f full
+          && Array.for_all (fun v -> full.(v) = m.(v)) frozen
+        | Cdcl.Unsat, None, _ -> not (brute_sat f)
+        | _ -> false)
+
+let prop_preprocess_incremental =
+  (* The Session usage pattern: preprocess a Tseytin encoding with the
+     interface frozen, then add constraints (output pins) afterwards. *)
+  qcheck_case ~count:40 "preprocess + later pins (c17)"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let c = Fl_netlist.Bench_suite.c17 () in
+      let f = Formula.create () in
+      let enc = Fl_cnf.Tseytin.encode f c in
+      let frozen =
+        Array.append enc.Fl_cnf.Tseytin.input_vars enc.Fl_cnf.Tseytin.output_vars
+      in
+      let p = Preprocess.run ~frozen f in
+      let rng = Random.State.make [| seed |] in
+      let pins =
+        Array.map
+          (fun v -> if Random.State.bool rng then v else -v)
+          enc.Fl_cnf.Tseytin.output_vars
+      in
+      let reduced = Preprocess.formula p in
+      Array.iter (fun l -> Formula.add_clause reduced [ l ]) pins;
+      Array.iter (fun l -> Formula.add_clause f [ l ]) pins;
+      (not (Preprocess.is_unsat p))
+      &&
+      match Cdcl.solve_formula f, Cdcl.solve_formula reduced with
+      | (Cdcl.Sat, _, _), (Cdcl.Sat, Some m, _) ->
+        model_satisfies f (Preprocess.reconstruct p m)
+      | (Cdcl.Unsat, _, _), (Cdcl.Unsat, _, _) -> true
+      | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Random k-SAT + cross-checking                                       *)
 (* ------------------------------------------------------------------ *)
@@ -235,21 +373,6 @@ let test_phase_transition_shape () =
 (* ------------------------------------------------------------------ *)
 (* Properties: CDCL and DPLL agree with brute force                    *)
 (* ------------------------------------------------------------------ *)
-
-let qcheck_case ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
-
-let random_formula_gen =
-  QCheck2.Gen.(
-    let* num_vars = int_range 3 12 in
-    let* ratio_pct = int_range 100 700 in
-    let* seed = int_bound 1_000_000 in
-    return (num_vars, ratio_pct, seed))
-
-let make_formula (num_vars, ratio_pct, seed) =
-  let rng = Random.State.make [| seed |] in
-  let num_clauses = max 1 (num_vars * ratio_pct / 100) in
-  Random_sat.fixed_length rng ~num_vars ~num_clauses ~k:(min 3 num_vars)
 
 let prop_cdcl_correct =
   qcheck_case ~count:200 "cdcl = brute force" random_formula_gen (fun params ->
@@ -315,6 +438,18 @@ let () =
           Alcotest.test_case "unsat" `Quick test_dpll_unsat;
           Alcotest.test_case "pure literal" `Quick test_dpll_pure_literal;
           Alcotest.test_case "abort" `Quick test_dpll_abort;
+        ] );
+      ( "preprocess",
+        [
+          Alcotest.test_case "tautology + duplicate" `Quick test_pre_taut_dup;
+          Alcotest.test_case "subsumption" `Quick test_pre_subsumption;
+          Alcotest.test_case "self-subsumption" `Quick test_pre_self_subsumption;
+          Alcotest.test_case "elimination + frozen" `Quick
+            test_pre_elimination_and_frozen;
+          Alcotest.test_case "reconstruction" `Quick test_pre_reconstruct;
+          Alcotest.test_case "unsat" `Quick test_pre_unsat;
+          prop_preprocess_preserves_sat;
+          prop_preprocess_incremental;
         ] );
       ( "random_sat",
         [
