@@ -191,6 +191,7 @@ let run ~deep ~pool () =
            if c.time_ref > 0.0 then Fl_obs.Float (c.time_pre /. c.time_ref)
            else Fl_obs.String "-" ))
        cells);
+  Report.add_alloc ();
   Report.add_parallelism ~jobs:(Fl_par.jobs pool) (Fl_par.last_stats pool);
   Printf.printf
     "statuses %s across %d cells (%d budget-boundary flip%s); best clause \

@@ -96,6 +96,7 @@ let run ~deep ~pool () =
        (fun (name, n, count) (_, status) ->
          Printf.sprintf "%s %dx%dx%d" name count n n, Fl_obs.String status)
        tasks cells);
+  Report.add_alloc ();
   Report.add_parallelism ~jobs:(Fl_par.jobs pool) (Fl_par.last_stats pool);
   print_endline
     "TO = conflict budget exhausted.  Shape reproduced: one small PLR is breakable in seconds; adding\n\

@@ -24,6 +24,26 @@ let add_bool name b = add name (Fl_obs.Bool b)
 (* [add_section name fields] nests [fields] as a JSON sub-object. *)
 let add_section name fields = entries := Section (name, fields) :: !entries
 
+(* [add_alloc ()] records the GC's allocation view of the run so far as an
+   "alloc" section: words allocated (minor/promoted/major), collection and
+   heap-compaction counts, and current/peak major-heap words.  Taken at the
+   end of an experiment this approximates its allocation cost — the number
+   the clause-arena layout is meant to push down — with the caveat that in
+   a multi-domain run it only sees the calling domain's minor counters. *)
+let add_alloc () =
+  let g = Gc.quick_stat () in
+  add_section "alloc"
+    [
+      "minor_words", Fl_obs.Float g.Gc.minor_words;
+      "promoted_words", Fl_obs.Float g.Gc.promoted_words;
+      "major_words", Fl_obs.Float g.Gc.major_words;
+      "minor_collections", Fl_obs.Int g.Gc.minor_collections;
+      "major_collections", Fl_obs.Int g.Gc.major_collections;
+      "compactions", Fl_obs.Int g.Gc.compactions;
+      "heap_words", Fl_obs.Int g.Gc.heap_words;
+      "top_heap_words", Fl_obs.Int g.Gc.top_heap_words;
+    ]
+
 (* [add_parallelism ~jobs stats] records a parallel sweep's pool accounting:
    the pool width and the summed-task-time / wall-time ratio.  These are the
    only fields of a sweep's summary expected to vary with --jobs. *)

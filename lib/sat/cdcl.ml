@@ -1,6 +1,18 @@
-(* MiniSAT-style CDCL.  Literal encoding: external DIMACS literal [l] maps to
-   internal literal [2*(|l|-1) + (l<0)]; [neg l = l lxor 1].  Values are
-   per-variable: 0 undefined, 1 true, 2 false. *)
+(* MiniSAT-style CDCL on a flat clause arena.
+
+   Literals are packed ({!Lit}): external DIMACS literal [l] maps to
+   [2*(|l|-1) + (l<0)]; [neg l = l lxor 1].  Assignments are one byte per
+   variable in {!Lit.Lbool} coding (0 false / 1 true / 2 undef), so a
+   literal evaluates with one byte load and one xor: 0 false, 1 true,
+   >= 2 undef.
+
+   Every clause lives in the {!Arena}: a [Cref.t] is a word offset into
+   one flat int array (header + activity + literals inline), so
+   propagation walks contiguous memory instead of chasing a pointer per
+   clause.  Watchers carry a blocking literal — a cached literal of the
+   clause checked before the arena is touched; when it is already true
+   the clause is satisfied and propagation skips the clause body
+   entirely (the common case on clause-dense Full-Lock miters). *)
 
 type outcome = Sat | Unsat | Unknown
 
@@ -69,11 +81,11 @@ module Vec = struct
       Array.blit v.data 0 data' 0 v.size;
       v.data <- data'
     end;
-    v.data.(v.size) <- x;
+    Array.unsafe_set v.data v.size x;
     v.size <- v.size + 1
 
-  let get v i = v.data.(i)
-  let set v i x = v.data.(i) <- x
+  let get v i = Array.unsafe_get v.data i
+  let set v i x = Array.unsafe_set v.data i x
   let size v = v.size
   let shrink v n = v.size <- n
 end
@@ -158,19 +170,18 @@ end
 type t = {
   mutable nvars : int;
   mutable ok : bool;  (* false once a top-level contradiction is derived *)
-  mutable clauses : int array array;  (* arena: problem + learnt clauses *)
-  mutable num_clauses : int;
-  mutable clause_learnt : Bytes.t;  (* per arena slot: 1 = learnt *)
-  mutable clause_act : float array;  (* learnt-clause activities *)
+  arena : Arena.t;  (* every clause, problem + learnt, packed flat *)
   mutable cla_inc : float;
-  mutable learnt_count : int;
   mutable reductions : int;
-  mutable assigns : Bytes.t;  (* var -> 0 undef / 1 true / 2 false *)
+  mutable assigns : Bytes.t;  (* var -> Lbool: 0 false / 1 true / 2 undef *)
   mutable level : int array;
-  mutable reason : int array;  (* var -> clause index or -1 *)
-  mutable watches : Vec.t array;  (* lit -> clause indices watching lit *)
+  mutable reason : int array;  (* var -> cref or Cref.none *)
+  mutable watches : Vec.t array;
+      (* lit -> flat (blocker, cref) pairs, stride 2.  The blocker is
+         some other literal of the clause; when it is already true the
+         clause is satisfied and the arena is never touched. *)
   mutable bin_watches : Vec.t array;
-      (* lit -> flat (implied_lit, clause_index) pairs, stride 2: binary
+      (* lit -> flat (implied_lit, cref) pairs, stride 2: binary
          clauses propagate off this list without touching the clause
          arena.  Entries are static — no watch surgery — and complete
          (each binary clause is listed under both its literals). *)
@@ -182,6 +193,10 @@ type t = {
   trail_lim : Vec.t;
   mutable qhead : int;
   mutable var_inc : float;
+  (* Memoized Luby sequence, 1-based: luby.(i-1) = luby(i).  Grows by
+     one entry per restart instead of re-deriving the sequence
+     recursively from scratch each time. *)
+  luby : Vec.t;
   (* statistics *)
   mutable n_decisions : int;
   mutable n_propagations : int;
@@ -205,16 +220,12 @@ let create () =
   {
     nvars = 0;
     ok = true;
-    clauses = Array.make 64 [||];
-    num_clauses = 0;
-    clause_learnt = Bytes.make 64 '\000';
-    clause_act = Array.make 64 0.0;
+    arena = Arena.create ();
     cla_inc = 1.0;
-    learnt_count = 0;
     reductions = 0;
-    assigns = Bytes.make 8 '\000';
+    assigns = Bytes.make 8 '\002';
     level = Array.make 8 0;
-    reason = Array.make 8 (-1);
+    reason = Array.make 8 Arena.Cref.none;
     watches = Array.init 16 (fun _ -> Vec.create ());
     bin_watches = Array.init 16 (fun _ -> Vec.create ());
     activity;
@@ -225,6 +236,7 @@ let create () =
     trail_lim = Vec.create ();
     qhead = 0;
     var_inc = 1.0;
+    luby = Vec.create ();
     n_decisions = 0;
     n_propagations = 0;
     n_conflicts = 0;
@@ -240,15 +252,16 @@ let create () =
   }
 
 let num_vars s = s.nvars
-let num_clauses s = s.num_clauses
-let num_learnts s = s.learnt_count
+let num_clauses s = Arena.num_clauses s.arena
+let num_learnts s = Arena.num_learnts s.arena
+let arena_words s = Arena.words s.arena
 
 let ensure_vars s n =
   if n > s.nvars then begin
     let old_cap = Bytes.length s.assigns in
     if n > old_cap then begin
       let cap = max n (2 * old_cap) in
-      let assigns' = Bytes.make cap '\000' in
+      let assigns' = Bytes.make cap '\002' in
       Bytes.blit s.assigns 0 assigns' 0 old_cap;
       s.assigns <- assigns';
       let polarity' = Bytes.make cap '\000' in
@@ -260,7 +273,7 @@ let ensure_vars s n =
       let level' = Array.make cap 0 in
       Array.blit s.level 0 level' 0 old_cap;
       s.level <- level';
-      let reason' = Array.make cap (-1) in
+      let reason' = Array.make cap Arena.Cref.none in
       Array.blit s.reason 0 reason' 0 old_cap;
       s.reason <- reason';
       let act' = Array.make cap 0.0 in
@@ -283,13 +296,11 @@ let ensure_vars s n =
 
 let var_of l = l lsr 1
 let lneg l = l lxor 1
-let lit_of_dimacs l = (2 * (abs l - 1)) lor (if l < 0 then 1 else 0)
-let value_var s v = Char.code (Bytes.unsafe_get s.assigns v)
+let lit_of_dimacs = Lit.of_dimacs
+let value_var s v = Lit.value_var s.assigns v
 
-let value_lit s l =
-  let v = value_var s (var_of l) in
-  if v = 0 then 0 else if l land 1 = 0 then v else 3 - v
-(* 1 = true, 2 = false, 0 = undef *)
+(* 0 = false, 1 = true, >= 2 = undef (see {!Lit.value}). *)
+let value_lit s l = Lit.value s.assigns l
 
 let decision_level s = Vec.size s.trail_lim
 
@@ -307,7 +318,7 @@ let stats s =
 
 let enqueue s l reason =
   let v = var_of l in
-  Bytes.unsafe_set s.assigns v (if l land 1 = 0 then '\001' else '\002');
+  Lit.assign s.assigns l;
   s.level.(v) <- decision_level s;
   s.reason.(v) <- reason;
   Vec.push s.trail l
@@ -326,12 +337,12 @@ let var_bump s v =
 let var_decay s = s.var_inc <- s.var_inc /. 0.95
 
 let cla_bump s ci =
-  if Bytes.get s.clause_learnt ci = '\001' then begin
-    s.clause_act.(ci) <- s.clause_act.(ci) +. s.cla_inc;
-    if s.clause_act.(ci) > 1e20 then begin
-      for i = 0 to s.num_clauses - 1 do
-        s.clause_act.(i) <- s.clause_act.(i) *. 1e-20
-      done;
+  if Arena.learnt s.arena ci then begin
+    let a = Arena.activity s.arena ci +. s.cla_inc in
+    Arena.set_activity s.arena ci a;
+    if a > 1e20 then begin
+      Arena.iter_learnts s.arena (fun c ->
+          Arena.set_activity s.arena c (Arena.activity s.arena c *. 1e-20));
       s.cla_inc <- s.cla_inc *. 1e-20
     end
   end
@@ -346,8 +357,8 @@ let cancel_until s target =
       let l = Vec.get s.trail !i in
       let v = var_of l in
       Bytes.unsafe_set s.polarity v (if l land 1 = 0 then '\001' else '\000');
-      Bytes.unsafe_set s.assigns v '\000';
-      s.reason.(v) <- -1;
+      Lit.unassign s.assigns v;
+      s.reason.(v) <- Arena.Cref.none;
       Heap.insert s.heap v;
       decr i
     done;
@@ -358,85 +369,102 @@ let cancel_until s target =
 
 (* --- clause management --- *)
 
-let push_clause ?(learnt = false) s clause =
-  if s.num_clauses = Array.length s.clauses then begin
-    let cap = s.num_clauses * 2 in
-    let clauses' = Array.make cap [||] in
-    Array.blit s.clauses 0 clauses' 0 s.num_clauses;
-    s.clauses <- clauses';
-    let flags' = Bytes.make cap '\000' in
-    Bytes.blit s.clause_learnt 0 flags' 0 s.num_clauses;
-    s.clause_learnt <- flags';
-    let act' = Array.make cap 0.0 in
-    Array.blit s.clause_act 0 act' 0 s.num_clauses;
-    s.clause_act <- act'
-  end;
-  let idx = s.num_clauses in
-  s.clauses.(idx) <- clause;
-  Bytes.set s.clause_learnt idx (if learnt then '\001' else '\000');
-  s.clause_act.(idx) <- 0.0;
-  if learnt then s.learnt_count <- s.learnt_count + 1;
-  s.num_clauses <- idx + 1;
-  if Array.length clause = 2 then begin
-    Vec.push s.bin_watches.(clause.(0)) clause.(1);
-    Vec.push s.bin_watches.(clause.(0)) idx;
-    Vec.push s.bin_watches.(clause.(1)) clause.(0);
-    Vec.push s.bin_watches.(clause.(1)) idx
+(* Register a clause (already in the arena) with the watch scheme: binary
+   clauses go on the static stride-2 binary lists (both directions);
+   longer clauses watch slots 0 and 1, each watcher carrying the other
+   watched literal as its blocker. *)
+let attach s ci =
+  let l0 = Arena.lit s.arena ci 0 and l1 = Arena.lit s.arena ci 1 in
+  if Arena.size s.arena ci = 2 then begin
+    Vec.push s.bin_watches.(l0) l1;
+    Vec.push s.bin_watches.(l0) ci;
+    Vec.push s.bin_watches.(l1) l0;
+    Vec.push s.bin_watches.(l1) ci
   end
   else begin
-    Vec.push s.watches.(clause.(0)) idx;
-    Vec.push s.watches.(clause.(1)) idx
-  end;
-  idx
+    Vec.push s.watches.(l0) l1;
+    Vec.push s.watches.(l0) ci;
+    Vec.push s.watches.(l1) l0;
+    Vec.push s.watches.(l1) ci
+  end
 
-(* Add a problem clause; assumes trail is at level 0. *)
+let push_clause ?(learnt = false) s lits =
+  let ci = Arena.alloc s.arena ~learnt lits in
+  attach s ci;
+  ci
+
+(* Add a problem clause of packed literals; assumes trail is at level 0.
+   The array is scratch: sorted and compacted in place, no intermediate
+   lists.  Simplifies against permanent (level-0) assignments, drops
+   duplicate literals and detects tautologies. *)
 let add_internal s lits =
   if s.ok then begin
-    (* Simplify against permanent (level-0) assignments and deduplicate. *)
-    let module S = Set.Make (Int) in
+    (* Keep undefined literals; a true literal satisfies the clause. *)
+    let n = Array.length lits in
+    let w = ref 0 in
     let sat = ref false in
-    let keep = ref S.empty in
-    List.iter
-      (fun l ->
-        match value_lit s l with
+    (let i = ref 0 in
+     while (not !sat) && !i < n do
+       let l = lits.(!i) in
+       (match value_lit s l with
         | 1 -> sat := true
-        | 2 -> ()
+        | 0 -> ()
         | _ ->
-          if S.mem (lneg l) !keep then sat := true
-          else keep := S.add l !keep)
-      lits;
+          lits.(!w) <- l;
+          incr w);
+       incr i
+     done);
     if not !sat then begin
-      match S.elements !keep with
-      | [] -> s.ok <- false
-      | [ l ] ->
-        (* Unit at level 0: enqueue permanently (propagated on next solve). *)
-        (match value_lit s l with
-         | 1 -> ()
-         | 2 -> s.ok <- false
-         | _ -> enqueue s l (-1))
-      | l0 :: l1 :: rest -> ignore (push_clause s (Array.of_list (l0 :: l1 :: rest)))
+      let kept = Array.sub lits 0 !w in
+      Array.sort compare kept;
+      (* Deduplicate in place; adjacent [2v, 2v+1] is a tautology. *)
+      let m = Array.length kept in
+      let w = ref 0 in
+      (let i = ref 0 in
+       while (not !sat) && !i < m do
+         let l = kept.(!i) in
+         if !i + 1 < m && kept.(!i + 1) = lneg l then sat := true
+         else if !w > 0 && kept.(!w - 1) = l then ()
+         else begin
+           kept.(!w) <- l;
+           incr w
+         end;
+         incr i
+       done);
+      if not !sat then
+        if !w = 0 then s.ok <- false
+        else if !w = 1 then begin
+          (* Unit at level 0: enqueue permanently (propagated on next
+             solve). *)
+          match value_lit s kept.(0) with
+          | 1 -> ()
+          | 0 -> s.ok <- false
+          | _ -> enqueue s kept.(0) Arena.Cref.none
+        end
+        else ignore (push_clause s (Array.sub kept 0 !w))
     end
   end
 
-let add_clause s lits =
-  List.iter (fun l -> ensure_vars s (abs l)) lits;
+let add_clause_a s lits =
+  Array.iter (fun l -> ensure_vars s (abs l)) lits;
   cancel_until s 0;
-  add_internal s (List.map lit_of_dimacs lits)
+  add_internal s (Array.map lit_of_dimacs lits)
 
-let add_clause_a s lits = add_clause s (Array.to_list lits)
+let add_clause s lits = add_clause_a s (Array.of_list lits)
 
 let of_formula f =
   let s = create () in
   ensure_vars s (Fl_cnf.Formula.num_vars f);
   Fl_cnf.Formula.iter_clauses f (fun clause ->
       cancel_until s 0;
-      add_internal s (List.map lit_of_dimacs (Array.to_list clause)));
+      add_internal s (Array.map lit_of_dimacs clause));
   s
 
 (* --- propagation --- *)
 
-(* Returns conflicting clause index or -1. *)
+(* Returns conflicting cref or -1. *)
 let propagate s =
+  let arena = s.arena in
   let conflict = ref (-1) in
   while !conflict < 0 && s.qhead < Vec.size s.trail do
     let p = Vec.get s.trail s.qhead in
@@ -453,64 +481,84 @@ let propagate s =
       let other = Vec.get bw !b in
       (match value_lit s other with
        | 1 -> ()
-       | 2 ->
+       | 0 ->
          conflict := Vec.get bw (!b + 1);
          s.qhead <- Vec.size s.trail
        | _ -> enqueue s other (Vec.get bw (!b + 1)));
       b := !b + 2
     done;
     if !conflict < 0 then begin
-    let ws = s.watches.(false_lit) in
-    let n = Vec.size ws in
-    let j = ref 0 in
-    let i = ref 0 in
-    while !i < n do
-      let ci = Vec.get ws !i in
-      incr i;
-      let clause = s.clauses.(ci) in
-      (* Ensure the false literal is in slot 1. *)
-      if clause.(0) = false_lit then begin
-        clause.(0) <- clause.(1);
-        clause.(1) <- false_lit
-      end;
-      if value_lit s clause.(0) = 1 then begin
-        (* Clause already satisfied: keep the watch. *)
-        Vec.set ws !j ci;
-        incr j
-      end
-      else begin
-        (* Look for a new literal to watch. *)
-        let len = Array.length clause in
-        let found = ref false in
-        let k = ref 2 in
-        while (not !found) && !k < len do
-          if value_lit s clause.(!k) <> 2 then begin
-            clause.(1) <- clause.(!k);
-            clause.(!k) <- false_lit;
-            Vec.push s.watches.(clause.(1)) ci;
-            found := true
-          end;
-          incr k
-        done;
-        if not !found then begin
-          (* Unit or conflicting. *)
-          Vec.set ws !j ci;
-          incr j;
-          if value_lit s clause.(0) = 2 then begin
-            conflict := ci;
-            s.qhead <- Vec.size s.trail;
-            (* Copy back the rest of the watch list. *)
-            while !i < n do
-              Vec.set ws !j (Vec.get ws !i);
-              incr j;
-              incr i
-            done
-          end
-          else enqueue s clause.(0) ci
+      let ws = s.watches.(false_lit) in
+      let n = Vec.size ws in
+      let j = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        let blocker = Vec.get ws !i in
+        let ci = Vec.get ws (!i + 1) in
+        i := !i + 2;
+        (* Blocking literal: when it is already true the clause is
+           satisfied and the arena is never dereferenced. *)
+        if value_lit s blocker = 1 then begin
+          Vec.set ws !j blocker;
+          Vec.set ws (!j + 1) ci;
+          j := !j + 2
         end
-      end
-    done;
-    Vec.shrink ws !j
+        else begin
+          (* Ensure the false literal is in slot 1. *)
+          let l0 = Arena.lit arena ci 0 in
+          let first =
+            if l0 = false_lit then begin
+              let l1 = Arena.lit arena ci 1 in
+              Arena.set_lit arena ci 0 l1;
+              Arena.set_lit arena ci 1 false_lit;
+              l1
+            end
+            else l0
+          in
+          if value_lit s first = 1 then begin
+            (* Clause already satisfied: keep the watch, cache the true
+               literal as the new blocker. *)
+            Vec.set ws !j first;
+            Vec.set ws (!j + 1) ci;
+            j := !j + 2
+          end
+          else begin
+            (* Look for a new literal to watch. *)
+            let len = Arena.size arena ci in
+            let found = ref false in
+            let k = ref 2 in
+            while (not !found) && !k < len do
+              let lk = Arena.lit arena ci !k in
+              if value_lit s lk <> 0 then begin
+                Arena.set_lit arena ci 1 lk;
+                Arena.set_lit arena ci !k false_lit;
+                Vec.push s.watches.(lk) first;
+                Vec.push s.watches.(lk) ci;
+                found := true
+              end;
+              incr k
+            done;
+            if not !found then begin
+              (* Unit or conflicting. *)
+              Vec.set ws !j first;
+              Vec.set ws (!j + 1) ci;
+              j := !j + 2;
+              if value_lit s first = 0 then begin
+                conflict := ci;
+                s.qhead <- Vec.size s.trail;
+                (* Copy back the rest of the watch list. *)
+                while !i < n do
+                  Vec.set ws !j (Vec.get ws !i);
+                  incr j;
+                  incr i
+                done
+              end
+              else enqueue s first ci
+            end
+          end
+        end
+      done;
+      Vec.shrink ws !j
     end
   done;
   !conflict
@@ -518,6 +566,7 @@ let propagate s =
 (* --- conflict analysis (first UIP) --- *)
 
 let analyze s confl =
+  let arena = s.arena in
   let learnt = ref [] in
   let counter = ref 0 in
   let p = ref (-1) in
@@ -528,12 +577,12 @@ let analyze s confl =
   let continue = ref true in
   while !continue do
     cla_bump s !confl;
-    let clause = s.clauses.(!confl) in
     (* Skip the implied literal of a reason clause by value, not position:
        binary reasons come off the static binary watch lists, which never
        reorder the arena clause. *)
-    for k = 0 to Array.length clause - 1 do
-      let q = clause.(k) in
+    let len = Arena.size arena !confl in
+    for k = 0 to len - 1 do
+      let q = Arena.lit arena !confl k in
       let v = var_of q in
       if q <> !p && Bytes.get s.seen v = '\000' && s.level.(v) > 0 then begin
         Bytes.set s.seen v '\001';
@@ -562,11 +611,17 @@ let analyze s confl =
     let v = var_of q in
     let r = s.reason.(v) in
     r >= 0
-    && Array.for_all
-         (fun l ->
-           let lv = var_of l in
-           lv = v || s.level.(lv) = 0 || Bytes.get s.seen lv = '\001')
-         s.clauses.(r)
+    &&
+    let len = Arena.size arena r in
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < len do
+      let lv = var_of (Arena.lit arena r !k) in
+      if not (lv = v || s.level.(lv) = 0 || Bytes.get s.seen lv = '\001') then
+        ok := false;
+      incr k
+    done;
+    !ok
   in
   let tail = List.filter (fun q -> not (redundant q)) !learnt in
   (* Clear every raised flag (including dropped literals'). *)
@@ -595,11 +650,24 @@ let analyze s confl =
 
 (* --- search --- *)
 
-(* Luby restart sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
-let rec luby_std i =
-  let rec pow2m1 k v = if v >= i then k, v else pow2m1 (k + 1) ((2 * v) + 1) in
-  let k, v = pow2m1 1 1 in
-  if v = i then 1 lsl (k - 1) else luby_std (i - ((v - 1) / 2))
+(* Luby restart sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+   Memoized iteratively: entry [i] only ever refers back to an entry
+   [< i], so the cache fills left to right, one entry per restart. *)
+let luby s i =
+  while Vec.size s.luby < i do
+    let j = Vec.size s.luby + 1 in
+    (* Smallest k with 2^k - 1 >= j. *)
+    let k = ref 1 in
+    while (1 lsl !k) - 1 < j do
+      incr k
+    done;
+    let v =
+      if (1 lsl !k) - 1 = j then 1 lsl (!k - 1)
+      else Vec.get s.luby (j - ((1 lsl (!k - 1)) - 1) - 1)
+    in
+    Vec.push s.luby v
+  done;
+  Vec.get s.luby (i - 1)
 
 let out_of_budget budget s start_check =
   (budget.max_conflicts >= 0 && s.n_conflicts - start_check >= budget.max_conflicts)
@@ -607,44 +675,33 @@ let out_of_budget budget s start_check =
       && s.n_conflicts land 255 = 0
       && Unix.gettimeofday () > budget.deadline)
 
-(* Drop the less active half of the learnt clauses.  Called only at decision
-   level 0: level-0 reasons are never dereferenced by [analyze] (it skips
-   level-0 variables), so clearing them is safe, and watches are rebuilt on
-   literals that are not permanently false so no future propagation is
-   silenced. *)
+(* Drop the less active half of the learnt clauses and compact the arena.
+   Called only at decision level 0: level-0 reasons are never dereferenced
+   by [analyze] (it skips level-0 variables), so clearing them is safe, and
+   watches are rebuilt on literals that are not permanently false so no
+   future propagation is silenced. *)
 let reduce_db s =
   assert (decision_level s = 0);
+  let arena = s.arena in
   (* Median learnt activity as the deletion threshold; keep binary clauses. *)
   let acts = ref [] in
-  for ci = 0 to s.num_clauses - 1 do
-    if Bytes.get s.clause_learnt ci = '\001' && Array.length s.clauses.(ci) > 2
-    then acts := s.clause_act.(ci) :: !acts
-  done;
+  Arena.iter_learnts arena (fun ci ->
+      if Arena.size arena ci > 2 then acts := Arena.activity arena ci :: !acts);
   let sorted = List.sort compare !acts in
   let threshold =
     match List.nth_opt sorted (List.length sorted / 2) with
     | Some v -> v
     | None -> infinity
   in
-  let keep ci =
-    Bytes.get s.clause_learnt ci = '\000'
-    || Array.length s.clauses.(ci) <= 2
-    || s.clause_act.(ci) > threshold
-  in
-  let write = ref 0 in
-  for ci = 0 to s.num_clauses - 1 do
-    if keep ci then begin
-      s.clauses.(!write) <- s.clauses.(ci);
-      Bytes.set s.clause_learnt !write (Bytes.get s.clause_learnt ci);
-      s.clause_act.(!write) <- s.clause_act.(ci);
-      incr write
-    end
-    else s.learnt_count <- s.learnt_count - 1
-  done;
-  s.num_clauses <- !write;
-  (* Level-0 reasons may now dangle; they are never read again. *)
+  Arena.iter_learnts arena (fun ci ->
+      if Arena.size arena ci > 2 && Arena.activity arena ci <= threshold then
+        Arena.kill arena ci);
+  (* Compaction renumbers every surviving cref.  Reasons on the (level-0)
+     trail are never read again — clear rather than remap them; watch
+     lists are rebuilt from the compacted arena below. *)
+  let _remap = Arena.compact arena in
   for i = 0 to Vec.size s.trail - 1 do
-    s.reason.(var_of (Vec.get s.trail i)) <- -1
+    s.reason.(var_of (Vec.get s.trail i)) <- Arena.Cref.none
   done;
   (* Rebuild watches, preferring literals that are not permanently false so
      satisfied-then-unwound clauses keep live watches. *)
@@ -652,33 +709,20 @@ let reduce_db s =
     Vec.shrink s.watches.(l) 0;
     Vec.shrink s.bin_watches.(l) 0
   done;
-  for ci = 0 to s.num_clauses - 1 do
-    let clause = s.clauses.(ci) in
-    let len = Array.length clause in
-    if len = 2 then begin
-      (* Binary lists are static and complete (both directions); compaction
-         renumbered the arena, so re-register under the new index. *)
-      Vec.push s.bin_watches.(clause.(0)) clause.(1);
-      Vec.push s.bin_watches.(clause.(0)) ci;
-      Vec.push s.bin_watches.(clause.(1)) clause.(0);
-      Vec.push s.bin_watches.(clause.(1)) ci
-    end
-    else begin
-      let slot = ref 0 in
-      (let k = ref 0 in
-       while !slot < 2 && !k < len do
-         if value_lit s clause.(!k) <> 2 then begin
-           let tmp = clause.(!slot) in
-           clause.(!slot) <- clause.(!k);
-           clause.(!k) <- tmp;
-           incr slot
-         end;
-         incr k
-       done);
-      Vec.push s.watches.(clause.(0)) ci;
-      Vec.push s.watches.(clause.(1)) ci
-    end
-  done;
+  Arena.iter arena (fun ci ->
+      let len = Arena.size arena ci in
+      if len > 2 then begin
+        let slot = ref 0 in
+        let k = ref 0 in
+        while !slot < 2 && !k < len do
+          if value_lit s (Arena.lit arena ci !k) <> 0 then begin
+            Arena.swap_lits arena ci !slot !k;
+            incr slot
+          end;
+          incr k
+        done
+      end;
+      attach s ci);
   s.reductions <- s.reductions + 1
 
 exception Found of outcome
@@ -701,11 +745,11 @@ let search s assumptions budget conflict_budget start_conflicts =
          | [| unit_lit |] ->
            cancel_until s 0;
            (match value_lit s unit_lit with
-            | 2 ->
+            | 0 ->
               s.ok <- false;
               raise (Found Unsat)
             | 1 -> ()
-            | _ -> enqueue s unit_lit (-1))
+            | _ -> enqueue s unit_lit Arena.Cref.none)
          | _ ->
            let ci = push_clause ~learnt:true s learnt in
            enqueue s learnt.(0) ci);
@@ -726,7 +770,8 @@ let search s assumptions budget conflict_budget start_conflicts =
         if !conflicts_this_run >= conflict_budget then begin
           cancel_until s 0;
           s.n_restarts <- s.n_restarts + 1;
-          if s.learnt_count > 2000 + (500 * s.reductions) then reduce_db s;
+          if Arena.num_learnts s.arena > 2000 + (500 * s.reductions) then
+            reduce_db s;
           raise Exit
         end;
         let dl = decision_level s in
@@ -736,11 +781,11 @@ let search s assumptions budget conflict_budget start_conflicts =
           | 1 ->
             Vec.push s.trail_lim (Vec.size s.trail)
             (* dummy level: keeps assumption index = level *)
-          | 2 -> raise (Found Unsat)
+          | 0 -> raise (Found Unsat)
           | _ ->
             Vec.push s.trail_lim (Vec.size s.trail);
             s.n_decisions <- s.n_decisions + 1;
-            enqueue s a (-1)
+            enqueue s a Arena.Cref.none
         end
         else begin
           (* Pick an unassigned variable by activity. *)
@@ -748,7 +793,7 @@ let search s assumptions budget conflict_budget start_conflicts =
             if Heap.is_empty s.heap then -1
             else begin
               let v = Heap.pop s.heap in
-              if value_var s v = 0 then v else pick ()
+              if Lit.Lbool.is_undef (value_var s v) then v else pick ()
             end
           in
           let v = pick () in
@@ -759,7 +804,7 @@ let search s assumptions budget conflict_budget start_conflicts =
             Vec.push s.trail_lim (Vec.size s.trail);
             if decision_level s > s.max_dl then s.max_dl <- decision_level s;
             s.n_decisions <- s.n_decisions + 1;
-            enqueue s l (-1)
+            enqueue s l Arena.Cref.none
           end
         end
       end
@@ -779,7 +824,7 @@ let solve ?(assumptions = []) ?(budget = no_budget) s =
     let rec run i =
       if out_of_budget budget s start_conflicts then Unknown
       else begin
-        let conflict_budget = 64 * luby_std i in
+        let conflict_budget = 64 * luby s i in
         match search s assumptions budget conflict_budget start_conflicts with
         | Some r -> r
         | None -> run (i + 1)
@@ -809,6 +854,21 @@ let model s =
   match s.last_model with
   | None -> invalid_arg "Cdcl.model: no model (last solve was not Sat)"
   | Some m -> Array.init (Bytes.length m + 1) (fun i -> i > 0 && Bytes.get m (i - 1) = '\001')
+
+(* Learnt-clause export (portfolio clause sharing, inprocessing): every
+   live learnt clause, in DIMACS literals.  The callback must not touch
+   the solver. *)
+let iter_learnts s f =
+  Arena.iter_learnts s.arena (fun ci ->
+      let len = Arena.size s.arena ci in
+      f (Array.init len (fun k -> Lit.to_dimacs (Arena.lit s.arena ci k))))
+
+(* Forced learnt-database reduction at level 0 — the path DB reduction
+   takes during search, exposed so tests and inprocessing hooks can drive
+   arena compaction and the watch-list rebuild directly. *)
+let reduce_now s =
+  cancel_until s 0;
+  if s.ok then reduce_db s
 
 let set_progress s ~every cb =
   if every <= 0 then invalid_arg "Cdcl.set_progress: every must be positive";

@@ -1,11 +1,18 @@
 (** Conflict-driven clause-learning SAT solver.
 
-    A from-scratch MiniSAT-style solver: two-watched-literal propagation,
-    first-UIP conflict analysis, VSIDS decision heuristic with a binary heap,
-    phase saving, Luby restarts, incremental clause addition and solving
-    under assumptions.  Detailed search statistics are exposed because the
-    paper's argument is about the *shape* of the search (recursive calls /
-    decisions per attack iteration), not just sat/unsat answers. *)
+    A from-scratch MiniSAT-style solver: two-watched-literal propagation
+    with blocking literals, first-UIP conflict analysis, VSIDS decision
+    heuristic with a binary heap, phase saving, Luby restarts, incremental
+    clause addition and solving under assumptions.  Detailed search
+    statistics are exposed because the paper's argument is about the
+    *shape* of the search (recursive calls / decisions per attack
+    iteration), not just sat/unsat answers.
+
+    Memory layout (DESIGN.md §4e): every clause lives in one flat int
+    {!Arena} addressed by word offset; assignments, saved phases and the
+    analysis scratch are byte arrays ({!Lit.Lbool}); watcher lists carry
+    blocking literals so satisfied clauses are skipped without touching
+    the arena. *)
 
 type t
 
@@ -79,6 +86,22 @@ val num_clauses : t -> int
 (** Live learnt clauses (shrinks when the database is reduced, unlike the
     monotone [stats.learned_clauses]). *)
 val num_learnts : t -> int
+
+(** Words currently allocated in the clause arena (live + dead clauses);
+    a direct measure of solver-core memory. *)
+val arena_words : t -> int
+
+(** [iter_learnts s f] calls [f] on every live learnt clause, as a fresh
+    array of DIMACS literals — the export hook for portfolio clause
+    sharing.  [f] must not modify the solver. *)
+val iter_learnts : t -> (int array -> unit) -> unit
+
+(** [reduce_now s] backtracks to level 0 and forces one learnt-database
+    reduction (arena compaction + watch-list rebuild) — the same path
+    search takes when the database outgrows its budget.  Exposed for
+    tests and inprocessing hooks; a no-op on a permanently-unsat
+    solver. *)
+val reduce_now : t -> unit
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,61 @@
+(** Packed literals and byte-coded truth values for the solver core.
+
+    A literal is [2*var + sign] in one unboxed int (0-based variables,
+    sign 1 = negated); negation is one xor and the literal doubles as its
+    own watch-list index.  Truth values are byte-coded as
+    0 = false, 1 = true, 2 = undef so that a literal evaluates with a
+    single byte load and xor ({!value}). *)
+
+(** Transparent alias: literals index watch lists and live in the int
+    arena directly, so the packing is part of the contract (callers
+    outside the solver core should stick to the functions below). *)
+type t = int
+
+external of_int : int -> t = "%identity"
+external to_int : t -> int = "%identity"
+
+(** [make v sign] is variable [v] (0-based), negated when [sign]. *)
+val make : int -> bool -> t
+
+val var : t -> int
+val sign : t -> bool
+val neg : t -> t
+
+(** A sentinel distinct from every proper literal (compares as [-1]). *)
+val undef : t
+
+val of_dimacs : int -> t
+val to_dimacs : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Lbool : sig
+  type t = int
+
+  val false_ : t
+  val true_ : t
+  val undef : t
+
+  (** Negation by bit-twiddle: flips false/true, fixes undef. *)
+  val neg : t -> t
+
+  val of_bool : bool -> t
+  val is_true : t -> bool
+  val is_false : t -> bool
+
+  (** Values [>= undef] are undefined ({!value} can yield 2 or 3). *)
+  val is_undef : t -> bool
+end
+
+(** [value_var assigns v] is the stored {!Lbool.t} of variable [v]. *)
+val value_var : Bytes.t -> int -> Lbool.t
+
+(** [value assigns l] is the value of literal [l]: 0 false, 1 true,
+    [>= 2] undef.  The assignment bytes must be initialised to ['\002']
+    (undef). *)
+val value : Bytes.t -> t -> Lbool.t
+
+(** [assign assigns l] makes [l] true. *)
+val assign : Bytes.t -> t -> unit
+
+(** [unassign assigns v] resets variable [v] to undef. *)
+val unassign : Bytes.t -> int -> unit

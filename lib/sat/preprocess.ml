@@ -69,15 +69,29 @@ let lit_compare a b =
 let signature lits =
   Array.fold_left (fun s l -> s lor (1 lsl (abs l mod 63))) 0 lits
 
-(* Canonicalize a literal list: sort, drop duplicate literals, detect
-   tautologies.  Returns [None] for a tautology. *)
+(* Canonicalize a literal array in place: sort, drop duplicate literals,
+   detect tautologies.  Returns [None] for a tautology, otherwise a
+   clause trimmed to its deduplicated prefix — no intermediate lists, so
+   loading a large miter stays one packed array per clause.  The caller
+   must own [lits] (it is sorted and possibly truncated). *)
 let canonical lits =
-  let lits = List.sort_uniq lit_compare lits in
-  let rec taut = function
-    | a :: (b :: _ as rest) -> (a = -b) || taut rest
-    | _ -> false
-  in
-  if taut lits then None else Some (Array.of_list lits)
+  Array.sort lit_compare lits;
+  let n = Array.length lits in
+  let w = ref 0 in
+  let taut = ref false in
+  (let i = ref 0 in
+   while (not !taut) && !i < n do
+     let l = lits.(!i) in
+     if !i + 1 < n && lits.(!i + 1) = -l then taut := true
+     else if !w > 0 && lits.(!w - 1) = l then ()
+     else begin
+       lits.(!w) <- l;
+       incr w
+     end;
+     incr i
+   done);
+  if !taut then None
+  else Some (if !w = n then lits else Array.sub lits 0 !w)
 
 (* Merge walk over canonical clauses [c] and [d]:
    [`Subsumes] when c ⊆ d; [`Strengthen l] when (c \ {l}) ⊆ d and -l ∈ d
@@ -174,7 +188,16 @@ let append db lits =
 (* Remove literal [l] from clause [ci] (self-subsuming resolution).  The
    occurrence entry for [l] goes stale; the others stay valid. *)
 let strengthen db ci l =
-  let lits = Array.of_list (List.filter (fun x -> x <> l) (Array.to_list db.cl.(ci))) in
+  let old = db.cl.(ci) in
+  let lits = Array.make (Array.length old - 1) 0 in
+  let w = ref 0 in
+  Array.iter
+    (fun x ->
+      if x <> l then begin
+        lits.(!w) <- x;
+        incr w
+      end)
+    old;
   if Array.length lits = 0 then db.unsat <- true
   else begin
     db.cl.(ci) <- lits;
@@ -240,10 +263,17 @@ let drain_subsumption db =
 (* Resolvent of [a] (containing v) and [b] (containing -v) on variable [v];
    [None] when tautological. *)
 let resolve v a b =
-  let lits =
-    List.filter (fun l -> abs l <> v) (Array.to_list a @ Array.to_list b)
+  let lits = Array.make (Array.length a + Array.length b - 2) 0 in
+  let w = ref 0 in
+  let take l =
+    if abs l <> v then begin
+      lits.(!w) <- l;
+      incr w
+    end
   in
-  canonical lits
+  Array.iter take a;
+  Array.iter take b;
+  canonical (if !w = Array.length lits then lits else Array.sub lits 0 !w)
 
 (* Bounded variable elimination of [v]: worthwhile when the surviving
    resolvents do not outnumber the removed clauses by more than [growth]. *)
@@ -343,7 +373,9 @@ let run ?(growth = 0) ?(max_occ = 40) ?(label = "preprocess") ~frozen f =
   (* Load: canonicalize, drop tautologies and exact duplicates. *)
   let seen = Hashtbl.create (Formula.num_clauses f) in
   Formula.iter_clauses f (fun clause ->
-      match canonical (Array.to_list clause) with
+      (* Copy before canonicalizing: the input formula owns [clause] and
+         [canonical] sorts in place. *)
+      match canonical (Array.copy clause) with
       | None -> db.n_taut <- db.n_taut + 1
       | Some lits ->
         if Hashtbl.mem seen lits then db.n_dup <- db.n_dup + 1
@@ -375,12 +407,16 @@ let run ?(growth = 0) ?(max_occ = 40) ?(label = "preprocess") ~frozen f =
       order;
     progress := db.n_elim > before
   done;
-  (* Emit the reduced formula, numbering preserved. *)
+  (* Emit the reduced formula, numbering preserved.  The clause arrays
+     transfer ownership: the working db dies with this call and the
+     elimination stack snapshotted its own copies, so the packed clauses
+     flow into the formula — and from there into the solver arena —
+     without another per-clause materialization. *)
   let reduced = Formula.create () in
   Formula.reserve reduced nvars;
   if not db.unsat then
     for ci = 0 to db.n - 1 do
-      if alive db ci then Formula.add_clause_a reduced (Array.copy db.cl.(ci))
+      if alive db ci then Formula.add_clause_a reduced db.cl.(ci)
     done;
   let clauses_after, literals_after = live_counts db in
   let st =

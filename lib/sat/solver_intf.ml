@@ -30,11 +30,25 @@ module type S = sig
   val num_clauses : t -> int
   val stats : t -> Cdcl.stats
 
+  (** [iter_learnts s f] exports every live learnt clause as DIMACS
+      literals — the hook portfolio clause-sharing builds on.  Backends
+      without a learnt database implement it as a no-op (see
+      {!No_learnt_export}); callers must treat an empty export as "no
+      clauses to share", never as unsat. *)
+  val iter_learnts : t -> (int array -> unit) -> unit
+
   (** Periodic progress hook (see {!Cdcl.set_progress}); backends without
       mid-solve reporting may treat these as no-ops. *)
   val set_progress : t -> every:int -> (Cdcl.stats -> unit) -> unit
 
   val clear_progress : t -> unit
+end
+
+(* Default no-op learnt export for backends that keep no learnt database
+   (or cannot enumerate it): [include No_learnt_export] satisfies the
+   signature without promising clauses. *)
+module No_learnt_export = struct
+  let iter_learnts _ _ = ()
 end
 
 (* The compile-time proof that {!Cdcl} implements the signature — and the

@@ -5,6 +5,8 @@ module Cdcl = Fl_sat.Cdcl
 module Dpll = Fl_sat.Dpll
 module Preprocess = Fl_sat.Preprocess
 module Random_sat = Fl_sat.Random_sat
+module Arena = Fl_sat.Arena
+module Lit = Fl_sat.Lit
 
 let check = Alcotest.check
 let bool_t = Alcotest.bool
@@ -159,6 +161,56 @@ let test_cdcl_duplicate_and_tautology () =
   check bool_t "sat" true (Cdcl.solve s = Cdcl.Sat);
   check bool_t "2 true" true (Cdcl.value s 2)
 
+let test_cdcl_binary_watch_rebuild () =
+  (* Direct check that the binary-implication watch lists survive a
+     learnt-database reduction.  A long binary chain 1 -> 2 -> ... -> k
+     shares the solver with a satisfiable pigeonhole block that forces
+     real conflicts (so the reduction has learnt clauses to compact);
+     after [reduce_now] rebuilds every watch list over the compacted
+     arena, asserting the chain end from its start must still propagate
+     the whole chain — through the rebuilt binary lists, not the general
+     watchers. *)
+  let k = 24 in
+  (* Conflicts come from a phase-transition 3-SAT block on variables past
+     the chain; only non-binary learnt clauses live in the arena, so probe
+     seeds (deterministically) until one leaves a satisfiable instance
+     with a non-empty learnt database. *)
+  let shift l = if l > 0 then l + k else l - k in
+  let rec build seed =
+    if seed > 50 then Alcotest.fail "no seed gave sat + learnts";
+    let s = Cdcl.create () in
+    for i = 1 to k - 1 do
+      Cdcl.add_clause s [ -i; i + 1 ]
+    done;
+    let rng = Random.State.make [| seed; 120 |] in
+    let f = Random_sat.fixed_length rng ~num_vars:120 ~num_clauses:505 ~k:3 in
+    Formula.iter_clauses f (fun c ->
+        Cdcl.add_clause_a s (Array.map shift c));
+    if Cdcl.solve s = Cdcl.Sat && Cdcl.num_learnts s > 0 then s
+    else build (seed + 1)
+  in
+  let s = build 0 in
+  (* The export hook sees exactly the live learnt clauses. *)
+  let exported = ref 0 in
+  Cdcl.iter_learnts s (fun c ->
+      incr exported;
+      check bool_t "exported non-unit" true (Array.length c >= 1));
+  check int_t "export count" (Cdcl.num_learnts s) !exported;
+  Cdcl.reduce_now s;
+  (* Propagation through the rebuilt binary watches: assuming the chain
+     head must imply every link up to the tail. *)
+  check bool_t "sat after reduce" true (Cdcl.solve ~assumptions:[ 1 ] s = Cdcl.Sat);
+  for i = 1 to k do
+    check bool_t (Printf.sprintf "chain %d" i) true (Cdcl.value s i)
+  done;
+  (* And the contrapositive direction. *)
+  check bool_t "sat under -k" true (Cdcl.solve ~assumptions:[ -k ] s = Cdcl.Sat);
+  check bool_t "head forced false" false (Cdcl.value s 1);
+  (* A second reduction on the already-compacted arena is also safe. *)
+  Cdcl.reduce_now s;
+  check bool_t "still sat" true (Cdcl.solve ~assumptions:[ 1 ] s = Cdcl.Sat);
+  check bool_t "still propagates" true (Cdcl.value s k)
+
 (* ------------------------------------------------------------------ *)
 (* DPLL                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -216,6 +268,97 @@ let make_formula (num_vars, ratio_pct, seed) =
   let rng = Random.State.make [| seed |] in
   let num_clauses = max 1 (num_vars * ratio_pct / 100) in
   Random_sat.fixed_length rng ~num_vars ~num_clauses ~k:(min 3 num_vars)
+
+(* ------------------------------------------------------------------ *)
+(* Clause arena                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let arena_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 60 in
+    let* seed = int_bound 1_000_000 in
+    return (n, seed))
+
+let prop_arena_roundtrip =
+  (* Add -> iterate -> kill some -> compact -> iterate: iteration returns
+     exactly the live clauses in address order with literals, learnt flags
+     and activities intact, and the remap sends every dead cref to
+     [Cref.none] and every live cref to its relocated twin. *)
+  qcheck_case ~count:200 "arena round-trips clauses across compaction"
+    arena_gen (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let mk _ =
+        let len = 2 + Random.State.int rng 7 in
+        Array.init len (fun _ -> Random.State.int rng 64)
+      in
+      let clauses = Array.init n mk in
+      let a = Arena.create () in
+      let crefs =
+        Array.mapi (fun i c -> Arena.alloc a ~learnt:(i mod 2 = 0) c) clauses
+      in
+      Array.iteri (fun i c -> Arena.set_activity a c (float_of_int i)) crefs;
+      (* Round-trip 1: everything still there, in order. *)
+      let seen = ref [] in
+      Arena.iter a (fun c -> seen := Arena.lits a c :: !seen);
+      let trip1 = Array.of_list (List.rev !seen) in
+      let live = Array.map (fun _ -> true) crefs in
+      Array.iteri
+        (fun i c ->
+          if Random.State.int rng 3 = 0 then begin
+            live.(i) <- false;
+            Arena.kill a c
+          end)
+        crefs;
+      let remap = Arena.compact a in
+      let ok_remap =
+        Array.for_all (fun x -> x)
+          (Array.mapi
+             (fun i c ->
+               let c' = remap c in
+               if not live.(i) then c' = Arena.Cref.none
+               else
+                 c' <> Arena.Cref.none
+                 && Arena.lits a c' = clauses.(i)
+                 && Arena.learnt a c' = (i mod 2 = 0)
+                 && Arena.activity a c' = float_of_int i)
+             crefs)
+      in
+      (* Round-trip 2: iteration sees exactly the live clauses, in order. *)
+      let seen2 = ref [] in
+      Arena.iter a (fun c -> seen2 := Arena.lits a c :: !seen2);
+      let trip2 = Array.of_list (List.rev !seen2) in
+      let expect2 =
+        Array.of_list
+          (List.filteri (fun i _ -> live.(i)) (Array.to_list clauses))
+      in
+      let n_live = Array.length expect2 in
+      let n_live_learnt =
+        Array.length
+          (Array.of_list
+             (List.filteri
+                (fun i _ -> live.(i) && i mod 2 = 0)
+                (Array.to_list clauses)))
+      in
+      trip1 = clauses && ok_remap && trip2 = expect2
+      && Arena.num_clauses a = n_live
+      && Arena.num_learnts a = n_live_learnt
+      && Arena.wasted a = 0)
+
+let test_arena_snapshot () =
+  let a = Arena.create () in
+  let c0 = Arena.alloc a ~learnt:false [| 0; 2 |] in
+  let snap = Arena.mark a in
+  let _c1 = Arena.alloc a ~learnt:true [| 1; 3; 5 |] in
+  let _c2 = Arena.alloc a ~learnt:false [| 4; 6 |] in
+  check int_t "3 clauses" 3 (Arena.num_clauses a);
+  Arena.restore a snap;
+  check int_t "back to 1" 1 (Arena.num_clauses a);
+  check int_t "no learnts" 0 (Arena.num_learnts a);
+  check bool_t "pre-mark clause intact" true (Arena.lits a c0 = [| 0; 2 |]);
+  check bool_t "unit rejected" true
+    (match Arena.alloc a ~learnt:false [| 7 |] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Preprocessing                                                       *)
@@ -414,6 +557,35 @@ let prop_cdcl_assumption_consistency =
         Cdcl.solve s = Cdcl.Unsat
       | Cdcl.Unknown -> false)
 
+let prop_cdcl_circuit_reference =
+  (* Post-refactor solver vs the untouched DPLL reference on the circuit
+     suite: a Tseytin-encoded c17 with random input/output pins must get
+     the same sat/unsat answer, and every Sat model must satisfy the
+     encoding clause by clause.  This is the layout refactor's
+     end-to-end guard — packed literals, byte assignments, blocking
+     literals and arena compaction all sit on this path. *)
+  qcheck_case ~count:60 "cdcl matches dpll on pinned c17"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let c = Fl_netlist.Bench_suite.c17 () in
+      let f = Formula.create () in
+      let enc = Fl_cnf.Tseytin.encode f c in
+      let rng = Random.State.make [| seed |] in
+      Array.iter
+        (fun v -> Formula.add_clause f [ (if Random.State.bool rng then v else -v) ])
+        enc.Fl_cnf.Tseytin.output_vars;
+      Array.iter
+        (fun v ->
+          if Random.State.int rng 3 = 0 then
+            Formula.add_clause f [ (if Random.State.bool rng then v else -v) ])
+        enc.Fl_cnf.Tseytin.input_vars;
+      let outcome, model, _ = Cdcl.solve_formula f in
+      let d, _ = Dpll.solve f in
+      match outcome, model, d with
+      | Cdcl.Sat, Some m, Dpll.Sat -> model_satisfies f m
+      | Cdcl.Unsat, None, Dpll.Unsat -> true
+      | _ -> false)
+
 let () =
   Alcotest.run "sat"
     [
@@ -431,6 +603,13 @@ let () =
           Alcotest.test_case "db reduction" `Quick test_cdcl_survives_db_reduction;
           Alcotest.test_case "level0 unsat" `Quick test_cdcl_empty_clause_via_simplification;
           Alcotest.test_case "tautology" `Quick test_cdcl_duplicate_and_tautology;
+          Alcotest.test_case "binary watch rebuild" `Quick
+            test_cdcl_binary_watch_rebuild;
+        ] );
+      ( "arena",
+        [
+          prop_arena_roundtrip;
+          Alcotest.test_case "snapshot + restore" `Quick test_arena_snapshot;
         ] );
       ( "dpll",
         [
@@ -462,5 +641,6 @@ let () =
           prop_dpll_correct;
           prop_cdcl_dpll_agree;
           prop_cdcl_assumption_consistency;
+          prop_cdcl_circuit_reference;
         ] );
     ]
