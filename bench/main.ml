@@ -2,6 +2,7 @@
    the supplementary security experiments, ablations and micro benches.
 
    Usage:  main.exe [experiment ...] [--deep] [--trace FILE] [--jobs N]
+                    [--baseline FILE] [--tolerance X]
            main.exe all            (default; every experiment, scaled budget)
            main.exe micro          (Bechamel micro-benchmarks)
 
@@ -16,8 +17,12 @@
    the main domain — bit-for-bit the sequential behaviour.
 
    Each experiment also writes a machine-readable BENCH_<name>.json
-   summary — wall time, the Fl_obs counter snapshot, and the fields the
-   experiment registered through Report. *)
+   summary — wall time, the Fl_obs counter snapshot, the deep-telemetry
+   histograms, and the fields the experiment registered through Report.
+   --baseline FILE (one experiment only) re-reads the fresh report after
+   the run and gates it against the committed FILE with
+   Fl_cli.Baseline.gate: statuses must match and watched metrics must stay
+   within --tolerance (default 1.25); a regression exits 1. *)
 
 let experiments ~deep ~pool =
   [
@@ -42,30 +47,13 @@ let experiments ~deep ~pool =
 
 let usage_names table = "all" :: List.map fst table
 
-(* [take_opt flag args] strips every [flag VALUE] pair out of [args] and
-   returns the last VALUE seen (flags taking an argument all parse through
-   here, so they share the missing-argument diagnostic). *)
-let take_opt flag args =
-  let value = ref None in
-  let rec go acc = function
-    | [] -> List.rev acc
-    | f :: v :: rest when f = flag ->
-      value := Some v;
-      go acc rest
-    | [ f ] when f = flag ->
-      Printf.eprintf "%s needs an argument\n" flag;
-      exit 2
-    | a :: rest -> go (a :: acc) rest
-  in
-  let rest = go [] args in
-  !value, rest
-
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let trace, args = take_opt "--trace" args in
-  let jobs_arg, args = take_opt "--jobs" args in
-  let deep = List.mem "--deep" args in
-  let selected = List.filter (fun a -> a <> "--deep") args in
+  let trace, args = Fl_cli.take_opt "--trace" args in
+  let jobs_arg, args = Fl_cli.take_opt "--jobs" args in
+  let baseline, args = Fl_cli.take_opt "--baseline" args in
+  let tolerance_arg, args = Fl_cli.take_opt "--tolerance" args in
+  let deep, selected = Fl_cli.take_flag "--deep" args in
   (* Anything still dash-prefixed is a flag we don't know; reject it instead
      of treating it as an (unknown) experiment name. *)
   (match
@@ -76,19 +64,30 @@ let () =
      List.iter
        (fun flag ->
          Printf.eprintf
-           "unknown flag %s; available: --deep, --trace FILE, --jobs N\n" flag)
+           "unknown flag %s; available: --deep, --trace FILE, --jobs N, \
+            --baseline FILE, --tolerance X\n"
+           flag)
        unknown;
      exit 2);
   let jobs =
     match jobs_arg with
-    | None -> max 1 (Domain.recommended_domain_count () - 1)
+    | None -> Fl_cli.default_jobs ()
+    | Some s -> Fl_cli.parse_jobs s
+  in
+  let tolerance =
+    match tolerance_arg with
+    | None -> 1.25
     | Some s ->
-      (match int_of_string_opt s with
-       | Some n when n >= 1 -> n
+      (match float_of_string_opt s with
+       | Some t when t >= 1.0 -> t
        | _ ->
-         Printf.eprintf "--jobs needs a positive integer, got %S\n" s;
+         Printf.eprintf "--tolerance needs a float >= 1, got %S\n" s;
          exit 2)
   in
+  (* Deep distribution telemetry is always on for benches: the histograms
+     land in every BENCH_<name>.json and the recording cost (one striped
+     atomic add per conflict) is noise next to a solve. *)
+  Fl_obs.set_deep true;
   let pool = Fl_par.create ~name:"bench" ~jobs () in
   let table = experiments ~deep ~pool in
   (* Reject unknown names up front so `main.exe tabel4 fig7` fails fast
@@ -106,17 +105,21 @@ let () =
            (String.concat ", " (usage_names table)))
        unknown;
      exit 2);
-  (match trace with
-   | None -> ()
-   | Some file ->
-     let oc = open_out file in
-     ignore (Fl_obs.add_sink (Fl_obs.jsonl_sink oc));
-     at_exit (fun () -> close_out oc));
+  (match trace with None -> () | Some file -> Fl_cli.install_trace file);
+  (match baseline, selected with
+   | Some _, [ name ] when name <> "all" -> ()
+   | Some _, _ ->
+     Printf.eprintf "--baseline needs exactly one experiment name\n";
+     exit 2
+   | None, _ -> ());
   let run_one name =
     let f = List.assoc name table in
     Report.reset ();
+    (* Counter/histogram isolation: each BENCH_<name>.json reflects its own
+       experiment even in an `all` run. *)
+    Fl_obs.reset_metrics ();
     let t0 = Unix.gettimeofday () in
-    f ();
+    Fl_obs.with_span ("bench." ^ name) f;
     let wall = Unix.gettimeofday () -. t0 in
     Report.write ~experiment:name ~wall_s:wall;
     Printf.printf "[%s done in %.1fs]\n%!" name wall
@@ -127,4 +130,16 @@ let () =
        "Full-Lock experiment suite (scaled budgets; pass --deep for longer runs)";
      List.iter (fun (name, _) -> run_one name) table
    | names -> List.iter run_one names);
-  Fl_par.shutdown pool
+  Fl_par.shutdown pool;
+  match baseline with
+  | None -> ()
+  | Some base ->
+    let current = "BENCH_" ^ List.hd selected ^ ".json" in
+    (match Fl_cli.Baseline.gate ~tolerance ~baseline:base ~current () with
+     | Ok () -> ()
+     | Error fails ->
+       List.iter (fun f -> Printf.eprintf "regression: %s\n" f) fails;
+       exit 1
+     | exception Failure msg ->
+       Printf.eprintf "baseline gate: %s\n" msg;
+       exit 2)

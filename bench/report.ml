@@ -2,10 +2,11 @@
 
    Every experiment run through bench/main.exe gets a BENCH_<name>.json
    written next to its printed table: a flat JSON object with the
-   experiment name, wall-clock seconds and the Fl_obs counter snapshot,
-   plus whatever fields and sections the experiment registered while it
-   ran.  Experiments stay printf-style; they just call [add_*] for the
-   numbers worth tracking across PRs. *)
+   experiment name, wall-clock seconds, the Fl_obs counter snapshot and
+   the deep-telemetry histograms (cdcl.lbd, cdcl.conflict_level,
+   par.queue_wait_s, ...), plus whatever fields and sections the
+   experiment registered while it ran.  Experiments stay printf-style;
+   they just call [add_*] for the numbers worth tracking across PRs. *)
 
 type entry =
   | Scalar of string * Fl_obs.value
@@ -90,6 +91,21 @@ let write ~experiment ~wall_s =
       | Section (name, fields) -> buf_member buf ~first name (object_str fields))
     (List.rev !entries);
   buf_member buf ~first "counters" (object_str (Fl_obs.snapshot ()));
+  (* One sub-object per histogram: summary stats plus the sparse bucket
+     vector (Fl_obs.Hist.json), so fltrace/of_json can reload the exact
+     distribution from the committed report. *)
+  (match Fl_obs.hist_snapshot () with
+   | [] -> ()
+   | hists ->
+     buf_member buf ~first "histograms"
+       ("{"
+        ^ String.concat ", "
+            (List.map
+               (fun (h : Fl_obs.Hist.snap) ->
+                 Fl_obs.Json.string_to_string h.Fl_obs.Hist.hname ^ ": "
+                 ^ Fl_obs.Hist.json h)
+               hists)
+        ^ "}"));
   Buffer.add_string buf "\n}\n";
   let path = "BENCH_" ^ experiment ^ ".json" in
   let oc = open_out path in

@@ -5,53 +5,38 @@
    Prints "s SATISFIABLE" with a "v ..." model line, "s UNSATISFIABLE", or
    "s UNKNOWN", following the SAT-competition output conventions.
    --trace appends structured JSONL events (cdcl.progress every 1024
-   conflicts, the final solve record) to FILE. *)
+   conflicts, span.begin/end around the solve, the final solve record) to
+   FILE; --stats prints the solver one-liner plus the full metric snapshot
+   (counters and the cdcl.* histograms) on exit. *)
 
 let () =
-  let path = ref None in
-  let budget = ref (-1.0) in
-  let use_dpll = ref false in
-  let show_stats = ref false in
-  let trace = ref None in
-  let rec parse = function
-    | [] -> ()
-    | "--budget-seconds" :: v :: rest ->
-      budget := float_of_string v;
-      parse rest
-    | "--dpll" :: rest ->
-      use_dpll := true;
-      parse rest
-    | "--stats" :: rest ->
-      show_stats := true;
-      parse rest
-    | "--trace" :: file :: rest ->
-      trace := Some file;
-      parse rest
-    | [ "--trace" ] ->
-      prerr_endline "--trace needs a file argument";
-      exit 2
-    | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
-      path := Some arg;
-      parse rest
-    | arg :: _ ->
-      Printf.eprintf "unknown argument %S\n" arg;
-      exit 2
-  in
-  parse (List.tl (Array.to_list Sys.argv));
+  let args = List.tl (Array.to_list Sys.argv) in
+  let budget_arg, args = Fl_cli.take_opt "--budget-seconds" args in
+  let trace, args = Fl_cli.take_opt "--trace" args in
+  let use_dpll, args = Fl_cli.take_flag "--dpll" args in
+  let show_stats, args = Fl_cli.take_flag "--stats" args in
   let path =
-    match !path with
-    | Some p -> p
-    | None ->
+    match args with
+    | [ p ] when String.length p > 0 && p.[0] <> '-' -> p
+    | _ ->
       prerr_endline
         "usage: flsat problem.cnf [--budget-seconds S] [--dpll] [--stats] [--trace FILE]";
       exit 2
   in
-  (match !trace with
+  let budget = ref (-1.0) in
+  (match budget_arg with
    | None -> ()
-   | Some file ->
-     let oc = open_out file in
-     ignore (Fl_obs.add_sink (Fl_obs.jsonl_sink oc));
-     at_exit (fun () -> close_out oc));
+   | Some v ->
+     (match float_of_string_opt v with
+      | Some s -> budget := s
+      | None ->
+        Printf.eprintf "--budget-seconds needs a number, got %S\n" v;
+        exit 2));
+  let use_dpll = ref use_dpll and show_stats = ref show_stats in
+  (match trace with None -> () | Some file -> Fl_cli.install_trace file);
+  (* The histograms need the deep switch, not a sink: a --stats run should
+     show the LBD/conflict-level distributions even without --trace. *)
+  if !show_stats then Fl_obs.set_deep true;
   let text =
     let ic = open_in path in
     let len = in_channel_length ic in
@@ -66,8 +51,11 @@ let () =
       exit 2
   in
   if !use_dpll then begin
-    let outcome, stats = Fl_sat.Dpll.solve formula in
-    if !show_stats then Format.eprintf "c %a@." Fl_sat.Dpll.pp_stats stats;
+    let outcome, stats = Fl_obs.with_span "flsat.solve" (fun () -> Fl_sat.Dpll.solve formula) in
+    if !show_stats then begin
+      Format.eprintf "c %a@." Fl_sat.Dpll.pp_stats stats;
+      Fl_cli.print_stats ()
+    end;
     match outcome with
     | Fl_sat.Dpll.Sat ->
       print_endline "s SATISFIABLE";
@@ -100,7 +88,7 @@ let () =
       Fl_sat.Cdcl.set_progress s ~every:1024 (fun delta ->
           Fl_obs.emit "cdcl.progress" ~fields:(stats_fields delta));
     let t0 = Unix.gettimeofday () in
-    let outcome = Fl_sat.Cdcl.solve ~budget s in
+    let outcome = Fl_obs.with_span "flsat.solve" (fun () -> Fl_sat.Cdcl.solve ~budget s) in
     let stats = Fl_sat.Cdcl.stats s in
     if Fl_obs.enabled () then
       Fl_obs.emit "cdcl.solve"
@@ -115,7 +103,10 @@ let () =
            :: ("vars", Fl_obs.Int (Fl_cnf.Formula.num_vars formula))
            :: ("elapsed_s", Fl_obs.Float (Unix.gettimeofday () -. t0))
            :: stats_fields stats);
-    if !show_stats then Format.eprintf "c %a@." Fl_sat.Cdcl.pp_stats stats;
+    if !show_stats then begin
+      Format.eprintf "c %a@." Fl_sat.Cdcl.pp_stats stats;
+      Fl_cli.print_stats ()
+    end;
     match outcome with
     | Fl_sat.Cdcl.Sat ->
       let m = Fl_sat.Cdcl.model s in

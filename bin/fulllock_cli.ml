@@ -361,13 +361,12 @@ let verify_cmd =
 
 let attack_cmd =
   let run kind locked_path oracle_path timeout key_out trace stats =
-    (match trace with
-     | None -> ()
-     | Some file ->
-       let oc = open_out file in
-       ignore (Fl_obs.add_sink (Fl_obs.jsonl_sink oc));
-       at_exit (fun () -> close_out oc));
-    if stats then at_exit (fun () -> Format.eprintf "%a" Fl_obs.pp_snapshot ());
+    (match trace with None -> () | Some file -> Fl_cli.install_trace file);
+    if stats then begin
+      (* Deep telemetry so the snapshot includes the cdcl.* histograms. *)
+      Fl_obs.set_deep true;
+      Fl_cli.stats_on_exit ()
+    end;
     let locked = read_circuit locked_path in
     let oracle = read_circuit oracle_path in
     let l =
@@ -435,7 +434,8 @@ let attack_cmd =
   in
   let stats =
     Arg.(value & flag & info [ "stats" ]
-           ~doc:"Print the observability counter snapshot on exit.")
+           ~doc:"Print the full metric snapshot (counters, gauges, solver \
+                 histograms) on exit.")
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a locked netlist with oracle access")

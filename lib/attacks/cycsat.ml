@@ -1,5 +1,6 @@
 module Gate = Fl_netlist.Gate
 module Circuit = Fl_netlist.Circuit
+module View = Fl_netlist.View
 module Formula = Fl_cnf.Formula
 
 (* Feedback (back) edges found by an iterative DFS over the signal-flow
@@ -68,7 +69,9 @@ let no_cycle_condition c =
   let backs = back_edges c in
   let key_index = key_index_table c in
   let heads = List.sort_uniq compare (List.map (fun (_, u, _) -> u) backs) in
-  let scc = Circuit.strongly_connected_components c in
+  (* Through the shared view so repeated condition builds (and anything
+     else analysing this circuit) reuse one SCC computation. *)
+  let scc = View.scc (View.of_circuit c) in
   let fan_out_slots =
     (* node -> (consumer, slot) list, intra-SCC only *)
     let n = Circuit.num_nodes c in

@@ -24,6 +24,7 @@ type progress = int -> float -> unit
 let run ?(timeout = 60.0) ?max_conflicts ?(max_iterations = max_int)
     ?(progress = fun _ _ -> ()) ?extra_key_constraint ?(label = "sat")
     ?preprocess locked =
+  Fl_obs.with_span ("attack." ^ label) @@ fun () ->
   let deadline = Unix.gettimeofday () +. timeout in
   let session =
     Session.create ?extra_key_constraint ~label ?max_conflicts ?preprocess

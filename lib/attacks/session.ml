@@ -136,7 +136,7 @@ let frozen_vars (m : Miter.t) =
 let create ?extra_key_constraint ?(label = "sat") ?max_conflicts
     ?(preprocess = true) ?(backend = Solver_intf.cdcl) ~deadline locked =
   let circuit = locked.Locked.locked in
-  let miter0 = Miter.build circuit in
+  let miter0 = Fl_obs.with_span "session.build_miter" (fun () -> Miter.build circuit) in
   let key_formula = Formula.create () in
   let key_vars = Formula.fresh_vars key_formula (Circuit.num_keys circuit) in
   (match extra_key_constraint with
@@ -155,8 +155,9 @@ let create ?extra_key_constraint ?(label = "sat") ?max_conflicts
     if not preprocess then None, miter0
     else begin
       let p =
-        Preprocess.run ~label ~frozen:(frozen_vars miter0)
-          miter0.Miter.formula
+        Fl_obs.with_span "session.preprocess" (fun () ->
+            Preprocess.run ~label ~frozen:(frozen_vars miter0)
+              miter0.Miter.formula)
       in
       if Preprocess.is_unsat p then None, miter0
       else Some p, { miter0 with Miter.formula = Preprocess.formula p }
@@ -338,7 +339,7 @@ let screen_dip s =
         pairs words
       end
     in
-    pass screen_passes_per_call
+    Fl_obs.with_span "session.screen" (fun () -> pass screen_passes_per_call)
 
 (* One miter solve; shared by the screening and reference paths.
    [record_models] feeds the model's two key vectors into the screening
@@ -350,7 +351,10 @@ let screen_dip s =
 let solve_dip s ~record_models =
   sync s.miter_tracked;
   let before = tracked_stats s.miter_tracked in
-  let outcome = tracked_solve s.miter_tracked ~budget:(budget s) in
+  let outcome =
+    Fl_obs.with_span "session.solve_dip" (fun () ->
+        tracked_solve s.miter_tracked ~budget:(budget s))
+  in
   let delta = Cdcl.sub_stats (tracked_stats s.miter_tracked) before in
   s.stats <- Cdcl.add_stats s.stats delta;
   match outcome with
@@ -391,6 +395,7 @@ let find_dip_reference s =
   if out_of_time s then `Timeout else solve_dip s ~record_models:false
 
 let constrain_io s ~inputs ~outputs =
+  Fl_obs.with_span "session.observe" @@ fun () ->
   let circuit = s.locked.Locked.locked in
   Miter.add_io_constraint s.miter circuit ~inputs ~outputs;
   let key_formula =
@@ -410,7 +415,10 @@ let observe s dip =
 
 let candidate_key s =
   sync s.key_tracked;
-  match tracked_solve s.key_tracked ~budget:(budget s) with
+  match
+    Fl_obs.with_span "session.key_solve" (fun () ->
+        tracked_solve s.key_tracked ~budget:(budget s))
+  with
   | Cdcl.Sat ->
     let model = tracked_model s.key_tracked in
     `Key (Array.map (fun v -> model.(v)) s.key_vars)

@@ -1,5 +1,6 @@
 module Gate = Fl_netlist.Gate
 module Circuit = Fl_netlist.Circuit
+module View = Fl_netlist.View
 
 module Key_bag = struct
   type t = { builder : Circuit.Builder.t; mutable values : bool list (* reversed *) }
@@ -56,16 +57,11 @@ let select_wires c rng ~count ~policy =
   | `Independent ->
     (* Greedy independent set (no path in either direction between any two
        chosen wires).  The greedy outcome is order-sensitive, so retry a few
-       shuffles before concluding the circuit is too narrow. *)
-    let cones = Hashtbl.create 16 in
-    let fanin_of id =
-      match Hashtbl.find_opt cones id with
-      | Some mask -> mask
-      | None ->
-        let mask = Circuit.transitive_fanin c id in
-        Hashtbl.add cones id mask;
-        mask
-    in
+       shuffles before concluding the circuit is too narrow.  Cones come
+       from the shared view's per-node cache, so retries (and later
+       analyses of the same circuit) reuse them. *)
+    let view = View.of_circuit c in
+    let fanin_of id = View.cone_of_influence view id in
     let attempt order =
       let chosen = ref [] in
       let independent id =

@@ -58,6 +58,11 @@ let c_timeouts = Fl_obs.Counter.make "par.timeouts"
 let c_cancelled = Fl_obs.Counter.make "par.cancelled"
 let c_batches = Fl_obs.Counter.make "par.batches"
 
+(* Queue wait: batch submission to task start, in microseconds (scale
+   1e-6, so summaries read in seconds).  Deep-telemetry guarded — see
+   DESIGN.md §4f. *)
+let h_queue_wait = Fl_obs.Hist.make ~scale:1e-6 "par.queue_wait_s"
+
 let jobs p = p.jobs
 let name p = p.pname
 let last_stats p = p.last
@@ -142,8 +147,10 @@ let task_fields p i =
    marking, result-slot write, events, accounting.  Runs on a worker
    domain (jobs > 1) or inline on the submitter (jobs = 1); must never
    raise — a raise here would kill a worker and hang the batch. *)
-let exec_task p ~acct ~cancelled ~timeout ~retries ~results i f =
+let exec_task p ~acct ~cancelled ~submitted ~timeout ~retries ~results i f =
   Fl_obs.Counter.incr c_tasks;
+  if Fl_obs.deep_enabled () then
+    Fl_obs.Hist.record_time h_queue_wait (Unix.gettimeofday () -. submitted);
   if Atomic.get cancelled then begin
     Fl_obs.Counter.incr c_cancelled;
     if Fl_obs.enabled () then
@@ -239,7 +246,8 @@ let run p ?timeout ?(retries = 0) fs =
     Fl_obs.Counter.incr c_batches;
     let t0 = Unix.gettimeofday () in
     let job i () =
-      exec_task p ~acct ~cancelled ~timeout ~retries ~results i fs.(i)
+      exec_task p ~acct ~cancelled ~submitted:t0 ~timeout ~retries ~results i
+        fs.(i)
     in
     if p.jobs = 1 then
       (* Inline: index order, no queue — bit-for-bit sequential. *)

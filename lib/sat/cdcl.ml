@@ -63,6 +63,15 @@ let sub_stats a b =
     max_decision_level = a.max_decision_level;
   }
 
+(* Deep distribution telemetry (DESIGN.md §4f): learnt-clause quality and
+   search-shape histograms, recorded in the conflict path only when
+   [Fl_obs.set_deep] is on — the off cost is one atomic load and branch
+   per conflict.  Striped atomics, so portfolio/sweep domains merge. *)
+let h_lbd = Fl_obs.Hist.make "cdcl.lbd"
+let h_learnt_len = Fl_obs.Hist.make "cdcl.learnt_len"
+let h_conflict_level = Fl_obs.Hist.make "cdcl.conflict_level"
+let h_props_per_decision = Fl_obs.Hist.make "cdcl.props_per_decision"
+
 type budget = { max_conflicts : int; deadline : float }
 
 let no_budget = { max_conflicts = -1; deadline = -1.0 }
@@ -206,6 +215,12 @@ type t = {
   mutable n_learned_lits : int;
   mutable max_dl : int;
   mutable last_model : Bytes.t option;
+  (* deep-telemetry scratch: stamped level marks for O(len) LBD, and the
+     propagation/decision watermarks of the previous conflict *)
+  mutable lbd_seen : int array;
+  mutable lbd_stamp : int;
+  mutable deep_mark_props : int;
+  mutable deep_mark_decisions : int;
   (* periodic progress hook: fires every [progress_every] conflicts with the
      stat deltas accumulated since the last firing.  [progress_next] is
      [max_int] when disabled, so the hot-loop check is one int compare. *)
@@ -245,6 +260,10 @@ let create () =
     n_learned_lits = 0;
     max_dl = 0;
     last_model = None;
+    lbd_seen = Array.make 8 0;
+    lbd_stamp = 0;
+    deep_mark_props = 0;
+    deep_mark_decisions = 0;
     progress_every = 0;
     progress_next = max_int;
     progress_mark = zero_stats;
@@ -725,6 +744,39 @@ let reduce_db s =
       attach s ci);
   s.reductions <- s.reductions + 1
 
+(* Learnt-clause LBD (Audemard & Simon: number of distinct decision levels
+   among the clause's literals) plus the other conflict-shape samples.
+   Runs before backtracking, while the learnt literals' levels are still
+   current; the stamped scratch array keeps it allocation-free. *)
+let record_conflict_stats s learnt =
+  Fl_obs.Hist.record h_conflict_level (decision_level s);
+  Fl_obs.Hist.record h_learnt_len (Array.length learnt);
+  let stamp = s.lbd_stamp + 1 in
+  s.lbd_stamp <- stamp;
+  let lbd = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = s.level.(var_of l) in
+      if lv >= Array.length s.lbd_seen then begin
+        (* levels can outgrow the var arrays only via repeated-assumption
+           dummy levels; grow lazily rather than burden ensure_vars *)
+        let cap = max (lv + 1) (2 * Array.length s.lbd_seen) in
+        let a = Array.make cap 0 in
+        Array.blit s.lbd_seen 0 a 0 (Array.length s.lbd_seen);
+        s.lbd_seen <- a
+      end;
+      if s.lbd_seen.(lv) <> stamp then begin
+        s.lbd_seen.(lv) <- stamp;
+        incr lbd
+      end)
+    learnt;
+  Fl_obs.Hist.record h_lbd !lbd;
+  let dp = s.n_propagations - s.deep_mark_props
+  and dd = s.n_decisions - s.deep_mark_decisions in
+  s.deep_mark_props <- s.n_propagations;
+  s.deep_mark_decisions <- s.n_decisions;
+  Fl_obs.Hist.record h_props_per_decision (dp / max 1 dd)
+
 exception Found of outcome
 
 let search s assumptions budget conflict_budget start_conflicts =
@@ -740,6 +792,7 @@ let search s assumptions budget conflict_budget start_conflicts =
           raise (Found Unsat)
         end;
         let learnt, btlevel = analyze s confl in
+        if Fl_obs.deep_enabled () then record_conflict_stats s learnt;
         cancel_until s (max btlevel 0) ;
         (match learnt with
          | [| unit_lit |] ->
@@ -770,6 +823,15 @@ let search s assumptions budget conflict_budget start_conflicts =
         if !conflicts_this_run >= conflict_budget then begin
           cancel_until s 0;
           s.n_restarts <- s.n_restarts + 1;
+          if Fl_obs.enabled () then
+            Fl_obs.emit
+              ~fields:
+                [
+                  "restarts", Fl_obs.Int s.n_restarts;
+                  "conflicts", Fl_obs.Int s.n_conflicts;
+                  "learnts", Fl_obs.Int (Arena.num_learnts s.arena);
+                ]
+              "cdcl.restart";
           if Arena.num_learnts s.arena > 2000 + (500 * s.reductions) then
             reduce_db s;
           raise Exit

@@ -60,3 +60,46 @@ flsat solves DIMACS:
   $ flsat u.cnf
   s UNSATISFIABLE
   [20]
+
+Trace analysis: record an attack with --trace, then read the JSONL back
+with fltrace.  The summary counts every record type, the attack table
+ends at exhaustion, and the flame output is folded stacks.
+
+  $ fulllock attack locked.bench host.bench --kind sat --timeout 60 \
+  >   --trace trace.jsonl > /dev/null 2>&1
+
+  $ fltrace summary trace.jsonl | grep -cE "span.(begin|end)"
+  2
+
+  $ fltrace summary trace.jsonl | grep -oE "attack.iteration|attack.exhausted" | sort -u
+  attack.exhausted
+  attack.iteration
+
+  $ fltrace spans trace.jsonl | head -2 | sed 's/ [0-9. ]*$//'
+  span                                                calls      total_s       self_s
+  attack.sat
+
+  $ fltrace attack trace.jsonl | head -2 | sed 's/ *$//'
+  
+  == attack sat on cli ==
+
+fltrace flame emits "stack integer-microseconds" lines, root first:
+
+  $ fltrace flame trace.jsonl | awk '{ if ($2 !~ /^[0-9]+$/) exit 1 } END { if (NR == 0) exit 1 }'
+
+  $ [ $(fltrace flame trace.jsonl | cut -d' ' -f1 | grep -c "^attack.sat") -ge 1 ]
+
+Unknown commands and unreadable files fail with a usage/IO error:
+
+  $ fltrace bogus trace.jsonl
+  usage: fltrace {summary|spans|flame|attack} TRACE.jsonl
+  
+    summary  per-event counts and wall-clock breakdown
+    spans    span profile tree: calls, total and self time
+    flame    folded stacks (pipe into flamegraph.pl)
+    attack   DIP trajectory table from attack.iteration records
+  [2]
+
+  $ fltrace summary missing.jsonl
+  fltrace: missing.jsonl: No such file or directory
+  [1]

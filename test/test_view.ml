@@ -251,6 +251,27 @@ let test_topological_order_is_memoized () =
     check bool_t "same order" true (a = b)
   | _ -> Alcotest.fail "c17 must be acyclic"
 
+(* The memo hit counters were dead until the attack layers were routed
+   through View (cycsat's SCC check, insertion_util's cones): a fresh view
+   plus two analysis calls must count exactly one miss and one hit. *)
+let test_memo_counters_count () =
+  let hit name = Fl_obs.Counter.value (Fl_obs.Counter.make ("view.memo." ^ name ^ ".hit")) in
+  let miss name = Fl_obs.Counter.value (Fl_obs.Counter.make ("view.memo." ^ name ^ ".miss")) in
+  let c = Bench_suite.c17 () in
+  let v = View.of_circuit c in
+  let exercise name f =
+    let h0 = hit name and m0 = miss name in
+    let a = f () in
+    let b = f () in
+    check bool_t (name ^ " memoized result") true (a == b);
+    check Alcotest.int (name ^ " misses") (m0 + 1) (miss name);
+    check Alcotest.int (name ^ " hits") (h0 + 1) (hit name)
+  in
+  exercise "scc" (fun () -> View.scc v);
+  exercise "fanouts" (fun () -> View.fanouts v);
+  let _, out = c.Circuit.outputs.(0) in
+  exercise "coi" (fun () -> View.cone_of_influence v out)
+
 let test_cached_analyses_agree () =
   let c = Bench_suite.load_scaled "c432" ~scale:4 in
   let v = View.of_circuit c in
@@ -327,6 +348,7 @@ let () =
           Alcotest.test_case "topo cached" `Quick
             test_topological_order_is_memoized;
           Alcotest.test_case "analyses agree" `Quick test_cached_analyses_agree;
+          Alcotest.test_case "memo counters" `Quick test_memo_counters_count;
         ] );
       ( "probes",
         [
