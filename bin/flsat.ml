@@ -1,13 +1,18 @@
 (* flsat — standalone DIMACS front end for the CDCL solver.
 
-     flsat problem.cnf [--budget-seconds S] [--dpll] [--stats] [--trace FILE]
+     flsat problem.cnf [--budget-seconds S] [--dpll] [--inprocess]
+       [--stats] [--trace FILE]
 
    Prints "s SATISFIABLE" with a "v ..." model line, "s UNSATISFIABLE", or
    "s UNKNOWN", following the SAT-competition output conventions.
-   --trace appends structured JSONL events (cdcl.progress every 1024
-   conflicts, span.begin/end around the solve, the final solve record) to
-   FILE; --stats prints the solver one-liner plus the full metric snapshot
-   (counters and the cdcl.* histograms) on exit. *)
+   --inprocess runs the Fl_sat.Inprocess engine (probing, equivalent-
+   literal collapsing, XOR/Gauss, subsumption, elimination; nothing
+   frozen) over the input before solving; models are reconstructed to the
+   original variables before printing.  --trace appends structured JSONL
+   events (cdcl.progress every 1024 conflicts, span.begin/end around the
+   solve, the final solve record) to FILE; --stats prints the solver
+   one-liner plus the full metric snapshot (counters and the cdcl.*
+   histograms) on exit. *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -15,12 +20,13 @@ let () =
   let trace, args = Fl_cli.take_opt "--trace" args in
   let use_dpll, args = Fl_cli.take_flag "--dpll" args in
   let show_stats, args = Fl_cli.take_flag "--stats" args in
+  let inp, args = Fl_cli.take_inprocess args in
   let path =
     match args with
     | [ p ] when String.length p > 0 && p.[0] <> '-' -> p
     | _ ->
       prerr_endline
-        "usage: flsat problem.cnf [--budget-seconds S] [--dpll] [--stats] [--trace FILE]";
+        "usage: flsat problem.cnf [--budget-seconds S] [--dpll] [--inprocess] [--stats] [--trace FILE]";
       exit 2
   in
   let budget = ref (-1.0) in
@@ -50,8 +56,30 @@ let () =
       Printf.eprintf "%s: %s\n" path msg;
       exit 2
   in
+  (* One-shot inprocessing: nothing frozen, so unit/equivalence/
+     elimination reconstruction covers every variable.  An Unsat verdict
+     decides the instance outright. *)
+  let ip =
+    if inp.Fl_cli.enabled = Some true then
+      Some (Fl_sat.Inprocess.run ~label:"flsat" ~frozen:[||] formula)
+    else None
+  in
+  (match ip with
+   | Some ip ->
+     if !show_stats then
+       Format.eprintf "c inprocess: %a@." Fl_sat.Inprocess.pp_stats
+         (Fl_sat.Inprocess.stats ip);
+     if Fl_sat.Inprocess.is_unsat ip then begin
+       if !show_stats then Fl_cli.print_stats ();
+       print_endline "s UNSATISFIABLE";
+       exit 20
+     end
+   | None -> ());
+  let solve_formula =
+    match ip with Some ip -> Fl_sat.Inprocess.formula ip | None -> formula
+  in
   if !use_dpll then begin
-    let outcome, stats = Fl_obs.with_span "flsat.solve" (fun () -> Fl_sat.Dpll.solve formula) in
+    let outcome, stats = Fl_obs.with_span "flsat.solve" (fun () -> Fl_sat.Dpll.solve solve_formula) in
     if !show_stats then begin
       Format.eprintf "c %a@." Fl_sat.Dpll.pp_stats stats;
       Fl_cli.print_stats ()
@@ -72,7 +100,7 @@ let () =
       if !budget > 0.0 then Fl_sat.Cdcl.budget_seconds !budget
       else Fl_sat.Cdcl.no_budget
     in
-    let s = Fl_sat.Cdcl.of_formula formula in
+    let s = Fl_sat.Cdcl.of_formula solve_formula in
     let stats_fields (d : Fl_sat.Cdcl.stats) =
       [
         "decisions", Fl_obs.Int d.Fl_sat.Cdcl.decisions;
@@ -99,8 +127,8 @@ let () =
                | Fl_sat.Cdcl.Sat -> "sat"
                | Fl_sat.Cdcl.Unsat -> "unsat"
                | Fl_sat.Cdcl.Unknown -> "unknown"))
-           :: ("clauses", Fl_obs.Int (Fl_cnf.Formula.num_clauses formula))
-           :: ("vars", Fl_obs.Int (Fl_cnf.Formula.num_vars formula))
+           :: ("clauses", Fl_obs.Int (Fl_cnf.Formula.num_clauses solve_formula))
+           :: ("vars", Fl_obs.Int (Fl_cnf.Formula.num_vars solve_formula))
            :: ("elapsed_s", Fl_obs.Float (Unix.gettimeofday () -. t0))
            :: stats_fields stats);
     if !show_stats then begin
@@ -109,7 +137,12 @@ let () =
     end;
     match outcome with
     | Fl_sat.Cdcl.Sat ->
-      let m = Fl_sat.Cdcl.model s in
+      let m =
+        let m = Fl_sat.Cdcl.model s in
+        match ip with
+        | Some ip -> Fl_sat.Inprocess.reconstruct ip m
+        | None -> m
+      in
       print_endline "s SATISFIABLE";
       let buf = Buffer.create 256 in
       Buffer.add_string buf "v";

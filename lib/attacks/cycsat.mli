@@ -21,12 +21,16 @@ val no_cycle_condition :
 val num_feedback_edges : Fl_netlist.Circuit.t -> int
 
 (** [run ?timeout ?max_conflicts ?max_iterations ?progress ?preprocess
-    locked] — CycSAT attack; parameters as in {!Sat_attack.run}. *)
+    ?inprocess ?inprocess_every ?inprocess_min_conflicts locked] —
+    CycSAT attack; parameters as in {!Sat_attack.run}. *)
 val run :
   ?timeout:float ->
   ?max_conflicts:int ->
   ?max_iterations:int ->
   ?progress:Sat_attack.progress ->
   ?preprocess:bool ->
+  ?inprocess:bool ->
+  ?inprocess_every:int ->
+  ?inprocess_min_conflicts:int ->
   Fl_locking.Locked.t ->
   Sat_attack.result

@@ -23,12 +23,12 @@ type progress = int -> float -> unit
 
 let run ?(timeout = 60.0) ?max_conflicts ?(max_iterations = max_int)
     ?(progress = fun _ _ -> ()) ?extra_key_constraint ?(label = "sat")
-    ?preprocess locked =
+    ?preprocess ?inprocess ?inprocess_every ?inprocess_min_conflicts locked =
   Fl_obs.with_span ("attack." ^ label) @@ fun () ->
   let deadline = Unix.gettimeofday () +. timeout in
   let session =
     Session.create ?extra_key_constraint ~label ?max_conflicts ?preprocess
-      ~deadline locked
+      ?inprocess ?inprocess_every ?inprocess_min_conflicts ~deadline locked
   in
   let finish status dips =
     let key_is_correct =

@@ -6,6 +6,7 @@ module Miter = Fl_cnf.Miter
 module Cdcl = Fl_sat.Cdcl
 module Solver_intf = Fl_sat.Solver_intf
 module Preprocess = Fl_sat.Preprocess
+module Inprocess = Fl_sat.Inprocess
 module Locked = Fl_locking.Locked
 
 (* DIP-source split: how many DIPs came from the word-level screen vs a
@@ -66,13 +67,32 @@ let tracked_model = function
 
 type t = {
   locked : Locked.t;
-  miter : Miter.t;
-      (* when preprocessing ran, [miter.formula] is the reduced formula
-         (original variable numbering preserved) *)
+  mutable miter : Miter.t;
+      (* when preprocessing/inprocessing ran, [miter.formula] is the
+         reduced formula (original variable numbering preserved) *)
   pre : Preprocess.t option;
-  miter_tracked : tracked;
+  mutable miter_tracked : tracked;
   key_tracked : tracked;
   key_vars : int array;
+  backend : (module Solver_intf.S);
+  (* Between-iterations inprocessing: period in DIP iterations (None =
+     disabled), the iteration count at the last run, the composed
+     model-reconstruction chain (reduced-formula model -> original-miter
+     model, one layer per simplification that ran), the per-run stats log
+     and a reusable probe scratch. *)
+  inprocess_every : int option;
+  mutable inprocess_period : int;
+      (* current adaptive period: starts at [inprocess_every], doubles
+         (capped) after a low-yield run, resets after a productive one *)
+  mutable last_inprocess : int;
+  inprocess_min_conflicts : int;
+      (* conflict-interval gate: a run only fires once the solvers have
+         accrued this many conflicts since the previous run, so easy
+         attacks (few conflicts per DIP) never pay for a rebuild *)
+  mutable last_inprocess_conflicts : int;
+  mutable recon : bool array -> bool array;
+  mutable inprocess_log : Inprocess.stats list;
+  scratch : Inprocess.scratch;
   deadline : float;
   conflict_budget : int option;
       (* total solver conflicts the attack may spend; deterministic
@@ -134,7 +154,9 @@ let frozen_vars (m : Miter.t) =
       m.Miter.outputs_a; m.Miter.outputs_b ]
 
 let create ?extra_key_constraint ?(label = "sat") ?max_conflicts
-    ?(preprocess = true) ?(backend = Solver_intf.cdcl) ~deadline locked =
+    ?(preprocess = true) ?(inprocess = false) ?(inprocess_every = 8)
+    ?(inprocess_min_conflicts = 2048) ?(backend = Solver_intf.cdcl)
+    ~deadline locked =
   let circuit = locked.Locked.locked in
   let miter0 = Fl_obs.with_span "session.build_miter" (fun () -> Miter.build circuit) in
   let key_formula = Formula.create () in
@@ -174,6 +196,19 @@ let create ?extra_key_constraint ?(label = "sat") ?max_conflicts
     miter_tracked;
     key_tracked;
     key_vars;
+    backend;
+    inprocess_every =
+      (if inprocess then Some (max 1 inprocess_every) else None);
+    inprocess_period = max 1 inprocess_every;
+    last_inprocess = 0;
+    inprocess_min_conflicts = max 0 inprocess_min_conflicts;
+    last_inprocess_conflicts = 0;
+    recon =
+      (match pre with
+       | None -> fun m -> m
+       | Some p -> Preprocess.reconstruct p);
+    inprocess_log = [];
+    scratch = Inprocess.scratch ();
     deadline;
     conflict_budget = max_conflicts;
     start = Unix.gettimeofday ();
@@ -341,6 +376,81 @@ let screen_dip s =
     in
     Fl_obs.with_span "session.screen" (fun () -> pass screen_passes_per_call)
 
+(* Between-iterations inprocessing.  Every [inprocess_every] DIP
+   iterations the miter formula — base clauses plus the incremental
+   observation tail — is re-simplified (probing, SCC collapsing,
+   XOR/Gauss, subsumption, bounded elimination) with the interface
+   variables frozen, and the miter solver is rebuilt from the reduced
+   formula.  Learnt clauses of the retired solver are replayed through
+   {!Inprocess.map_clause}: each is implied by the formula it was learnt
+   from, hence sound over the reduced (equisatisfiable, reconstruction
+   only touches removed variables) formula when its image survives the
+   substitution/unit maps.  Model reconstruction chains: the new layer
+   runs first, then the layers of earlier runs, then the one-shot
+   preprocessing layer.  An Unsat verdict keeps the current solver — the
+   next solve returns Unsat itself, taking the normal `Exhausted exit.
+
+   The period adapts: a run that removes under ~2% of the clauses and
+   derives no units or equivalences was overhead, so the next one waits
+   twice as long (capped at 16x the base period); a productive run
+   resets the period.  On top of the iteration period, a run only fires
+   once the session solvers have accrued [inprocess_min_conflicts]
+   conflicts since the previous run (the schedule conflict-driven
+   solvers use): an attack the solver finds easy — DIPs falling out in
+   a handful of conflicts — never pays for a rebuild it cannot amortise,
+   while a thrashing miter crosses the gate every few iterations and is
+   re-simplified on the dense base schedule.  Both gates are functions
+   of solver state only, so the schedule is machine-independent. *)
+let inprocess_productive (st : Inprocess.stats) =
+  let removed = st.Inprocess.clauses_before - st.Inprocess.clauses_after in
+  removed * 50 >= st.Inprocess.clauses_before
+  || st.Inprocess.units > 0
+  || st.Inprocess.equiv_collapsed > 0
+
+let maybe_inprocess s =
+  match s.inprocess_every with
+  | None -> ()
+  | Some every ->
+    if
+      s.iteration_count - s.last_inprocess >= s.inprocess_period
+      && s.iteration_count > 0
+      && s.stats.Cdcl.conflicts - s.last_inprocess_conflicts
+         >= s.inprocess_min_conflicts
+      && not (out_of_time s)
+    then begin
+      s.last_inprocess <- s.iteration_count;
+      s.last_inprocess_conflicts <- s.stats.Cdcl.conflicts;
+      let ip =
+        Fl_obs.with_span "session.inprocess" (fun () ->
+            Inprocess.run ~label:s.label ~scratch:s.scratch
+              ~frozen:(frozen_vars s.miter) s.miter.Miter.formula)
+      in
+      let st = Inprocess.stats ip in
+      s.inprocess_period <-
+        (if inprocess_productive st then every
+         else min (16 * every) (2 * s.inprocess_period));
+      s.inprocess_log <- st :: s.inprocess_log;
+      if not (Inprocess.is_unsat ip) then begin
+        let reduced = Inprocess.formula ip in
+        let nt = tracked_of s.backend reduced in
+        sync nt;
+        (match nt, s.miter_tracked with
+         | Tracked ntr, Tracked otr ->
+           let (module NB) = ntr.backend in
+           let (module OB) = otr.backend in
+           OB.iter_learnts otr.solver (fun c ->
+               match Inprocess.map_clause ip c with
+               | Some c' when Array.length c' > 0 ->
+                 NB.add_clause_a ntr.solver c'
+               | _ -> ()));
+        arm_progress s.label "miter" nt;
+        s.miter <- { s.miter with Miter.formula = reduced };
+        s.miter_tracked <- nt;
+        let prev = s.recon in
+        s.recon <- (fun m -> prev (Inprocess.reconstruct ip m))
+      end
+    end
+
 (* One miter solve; shared by the screening and reference paths.
    [record_models] feeds the model's two key vectors into the screening
    pool.  When the miter was preprocessed, the backend's model (of the
@@ -349,6 +459,7 @@ let screen_dip s =
    but reconstruction keeps the extraction honest about which formula the
    model satisfies. *)
 let solve_dip s ~record_models =
+  maybe_inprocess s;
   sync s.miter_tracked;
   let before = tracked_stats s.miter_tracked in
   let outcome =
@@ -367,10 +478,7 @@ let solve_dip s ~record_models =
   | Cdcl.Sat ->
     s.iteration_count <- s.iteration_count + 1;
     Fl_obs.Counter.incr c_dip_solver;
-    let model =
-      let m = tracked_model s.miter_tracked in
-      match s.pre with None -> m | Some p -> Preprocess.reconstruct p m
-    in
+    let model = s.recon (tracked_model s.miter_tracked) in
     let value v = model.(v) in
     let dip = Array.map value s.miter.Miter.inputs in
     if record_models then begin
@@ -429,3 +537,4 @@ let iterations s = s.iteration_count
 let solver_stats s = s.stats
 let clause_var_ratio s = Formula.ratio s.miter.Miter.formula
 let preprocess_stats s = Option.map Preprocess.stats s.pre
+let inprocess_stats s = List.rev s.inprocess_log

@@ -521,6 +521,64 @@ let test_preprocessed_attack_matches_reference () =
   attack_both "c432/4"
     (Fulllock.lock_one rng ~n:4 (Fl_netlist.Bench_suite.load_scaled "c432" ~scale:4))
 
+let test_inprocessed_attack_matches_reference () =
+  (* The periodic solver rebuilds must not change the CEGAR verdict: both
+     paths recover a functionally correct key on the same instance (keys
+     may differ; both must pass the oracle-equivalence check). A tight
+     --inprocess-every forces several rebuild+learnt-replay cycles. *)
+  let attack_both name l =
+    let r_inp =
+      Sat_attack.run ~timeout:120.0 ~inprocess:true ~inprocess_every:2
+        ~inprocess_min_conflicts:0 l
+    in
+    let r_ref = Sat_attack.run ~timeout:120.0 l in
+    check bool_t (name ^ ": inprocessed path breaks it") true
+      (broken_correct r_inp);
+    check bool_t (name ^ ": reference path breaks it") true
+      (broken_correct r_ref)
+  in
+  let rng = Random.State.make [| 61 |] in
+  attack_both "rll"
+    (Fl_locking.Rll.lock rng ~key_bits:6 (host ()));
+  let rng = Random.State.make [| 62 |] in
+  attack_both "fulllock/4" (Fulllock.lock_one rng ~n:4 (host ~gates:80 ()))
+
+let test_inprocess_session_runs_and_logs () =
+  (* With a tiny period the session must actually run inprocessing and
+     record one stats entry per run, and the attack must still succeed. *)
+  let rng = Random.State.make [| 63 |] in
+  let l = Fl_locking.Sarlock.lock rng ~key_bits:5 (host ()) in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let s =
+    Session.create ~inprocess:true ~inprocess_every:2
+      ~inprocess_min_conflicts:0 ~deadline l
+  in
+  let key = ref None in
+  (try
+     while true do
+       match Session.find_dip s with
+       | `Dip dip -> Session.observe s dip
+       | `Exhausted ->
+         (match Session.candidate_key s with
+          | `Key k -> key := Some k
+          | _ -> ());
+         raise Exit
+       | `Timeout -> raise Exit
+     done
+   with Exit -> ());
+  check bool_t "key found" true (!key <> None);
+  let runs = Session.inprocess_stats s in
+  check bool_t "inprocessing ran" true (List.length runs >= 1);
+  List.iter
+    (fun st ->
+      check bool_t "no clause growth" true
+        (st.Fl_sat.Inprocess.clauses_after
+         <= st.Fl_sat.Inprocess.clauses_before))
+    runs;
+  (* Disabled by default: no log entries. *)
+  let s_off = Session.create ~deadline l in
+  check bool_t "off by default" true (Session.inprocess_stats s_off = [])
+
 let test_session_preprocess_reduces () =
   (* The default session runs the one-shot miter preprocessing and reports
      a genuinely smaller formula. *)
@@ -558,6 +616,10 @@ let () =
             test_screened_find_dip_matches_reference;
           Alcotest.test_case "preprocessed = reference" `Slow
             test_preprocessed_attack_matches_reference;
+          Alcotest.test_case "inprocessed = reference" `Slow
+            test_inprocessed_attack_matches_reference;
+          Alcotest.test_case "inprocess session logs" `Quick
+            test_inprocess_session_runs_and_logs;
           Alcotest.test_case "session preprocess reduces" `Quick
             test_session_preprocess_reduces;
         ] );
