@@ -7,7 +7,9 @@
 
    Every command tolerates truncated or interleaved traces: unparsable
    lines are skipped (and counted), span.end events with no open span are
-   reported as unmatched. *)
+   reported as unmatched.  TRACE may be "-" for stdin: the trace is read
+   exactly once (events are held in memory), so piping a live capture
+   works for every command. *)
 
 module Obs = Fl_obs
 module Json = Fl_obs.Json
@@ -16,6 +18,7 @@ module Profile = Fl_obs.Profile
 let usage () =
   prerr_endline
     "usage: fltrace {summary|spans|flame|attack} TRACE.jsonl\n\n\
+    \  TRACE may be - to read the trace from stdin\n\
     \  summary  per-event counts and wall-clock breakdown\n\
     \  spans    span profile tree: calls, total and self time\n\
     \  flame    folded stacks (pipe into flamegraph.pl)\n\
@@ -26,30 +29,42 @@ let usage () =
 (* Trace reading                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Fold [f] over the parsable events of [path]; returns the number of
-   lines skipped (blank or unparsable — a live-written trace can end in a
-   torn line). *)
-let fold_events path f init =
+(* Load the parsable events of [path] ("-" = stdin) in one pass,
+   counting skipped lines (blank or unparsable — a live-written trace can
+   end in a torn line).  One pass matters for stdin: it cannot be
+   reopened, so every command works off this in-memory list. *)
+let load_events path =
   let ic =
-    try open_in path
-    with Sys_error msg ->
-      Printf.eprintf "fltrace: %s\n" msg;
-      exit 1
+    if path = "-" then stdin
+    else
+      try open_in path
+      with Sys_error msg ->
+        Printf.eprintf "fltrace: %s\n" msg;
+        exit 1
   in
   let skipped = ref 0 in
-  let acc = ref init in
+  let events = ref [] in
   (try
      while true do
        let line = input_line ic in
        if String.trim line = "" then incr skipped
        else
          match Json.of_string line with
-         | e -> acc := f !acc e
+         | e -> events := e :: !events
          | exception Json.Parse_error _ -> incr skipped
      done
    with End_of_file -> ());
-  close_in ic;
-  !acc, !skipped
+  if path <> "-" then close_in ic;
+  List.rev !events, !skipped
+
+let fold_events path f init =
+  let events, skipped = load_events path in
+  List.fold_left f init events, skipped
+
+let profile_of_events events =
+  let p = Profile.create () in
+  List.iter (Profile.add_event p) events;
+  p
 
 let field name e = List.assoc_opt name e.Obs.fields
 
@@ -73,9 +88,10 @@ let field_str name e =
 (* ------------------------------------------------------------------ *)
 
 let summary path =
+  let events, skipped = load_events path in
   let counts : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
-  let (n, t0, t1), skipped =
-    fold_events path
+  let n, t0, t1 =
+    List.fold_left
       (fun (n, t0, t1) e ->
         (* Collapse the per-span event names so `span.begin:session.solve_dip`
            and its siblings aggregate under one row each. *)
@@ -89,6 +105,7 @@ let summary path =
          | None -> Hashtbl.add counts name (ref 1));
         n + 1, Float.min t0 e.Obs.ts, Float.max t1 e.Obs.ts)
       (0, Float.infinity, Float.neg_infinity)
+      events
   in
   if n = 0 then begin
     Printf.printf "%s: no parsable events (%d lines skipped)\n" path skipped;
@@ -104,7 +121,7 @@ let summary path =
   Printf.printf "%-32s %10s\n" "event" "count";
   List.iter (fun (name, c) -> Printf.printf "%-32s %10d\n" name c) rows;
   (* Wall breakdown: where the top-level spans spent the trace. *)
-  let p = Profile.of_jsonl_file path in
+  let p = profile_of_events events in
   let roots = Profile.roots p in
   if roots <> [] then begin
     let wall = t1 -. t0 in
@@ -131,7 +148,8 @@ let summary path =
 (* ------------------------------------------------------------------ *)
 
 let spans path =
-  let p = Profile.of_jsonl_file path in
+  let events, _ = load_events path in
+  let p = profile_of_events events in
   let roots = Profile.roots p in
   if roots = [] then begin
     Printf.printf "%s: no span events\n" path;
@@ -155,7 +173,8 @@ let spans path =
 (* flamegraph.pl wants integer sample counts; we emit self time in
    microseconds, so 1 sample = 1µs. *)
 let flame path =
-  let p = Profile.of_jsonl_file path in
+  let events, _ = load_events path in
+  let p = profile_of_events events in
   List.iter
     (fun (stack, self_s) ->
       let us = int_of_float ((self_s *. 1e6) +. 0.5) in

@@ -466,6 +466,166 @@ let attack_cmd =
     Term.(const run $ kind $ locked $ oracle $ timeout $ key_out $ trace
           $ stats $ inp_on $ inp_off $ inp_every)
 
+(* ---------- serve / client ---------- *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket jobs max_timeout max_conflicts trace stats =
+    (match trace with None -> () | Some file -> Fl_cli.install_trace file);
+    if stats then Fl_cli.stats_on_exit ();
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs needs a positive integer, got %d\n" jobs;
+      exit 2
+    end;
+    let cfg =
+      { (Fl_serve.Server.default_config ~socket) with
+        Fl_serve.Server.jobs; max_timeout; max_conflicts }
+    in
+    Printf.eprintf "fulllock serve: listening on %s (%d jobs)\n%!" socket jobs;
+    match Fl_serve.Server.run cfg with
+    | () -> prerr_endline "fulllock serve: stopped"
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "cannot serve on %s: %s (%s %s)\n" socket
+        (Unix.error_message e) fn arg;
+      exit 1
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Worker pool width (default 1: requests run one at a time \
+                   on the scheduler).")
+  in
+  let max_timeout =
+    Arg.(value & opt float 300.0
+         & info [ "max-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request wall-budget cap and default.")
+  in
+  let max_conflicts =
+    Arg.(value & opt int 2_000_000
+         & info [ "max-conflicts" ] ~docv:"N"
+             ~doc:"Per-request solver-conflict cap and default.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Append the daemon's structured JSONL events to $(docv).")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Print the full metric snapshot on exit.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the attack-as-a-service daemon on a Unix socket")
+    Term.(const run $ socket_arg $ jobs $ max_timeout $ max_conflicts
+          $ trace $ stats)
+
+let client_cmd =
+  let run socket op kind scheme plr cyclic key_bits seed circuit locked oracle
+      timeout max_conflicts events quiet =
+    let events_mode =
+      match Fl_serve.Protocol.events_mode_of_string events with
+      | Ok m -> m
+      | Error msg -> Printf.eprintf "%s\n" msg; exit 2
+    in
+    let slurp_opt = Option.map Fl_cli.slurp in
+    let req =
+      { Fl_serve.Protocol.id = Printf.sprintf "cli-%d" (Unix.getpid ());
+        op; kind; scheme; plr; cyclic; key_bits; seed;
+        circuit = slurp_opt circuit;
+        locked = slurp_opt locked;
+        oracle = slurp_opt oracle;
+        timeout; max_conflicts;
+        events = events_mode }
+    in
+    let c =
+      try Fl_serve.Client.connect socket
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot connect to %s: %s\n" socket
+          (Unix.error_message e);
+        exit 1
+    in
+    let on_event e =
+      if not quiet then
+        Printf.eprintf "%s\n%!" (Fl_obs.Json.to_string e)
+    in
+    let outcome = Fl_serve.Client.request ~on_event c req in
+    Fl_serve.Client.close c;
+    match outcome with
+    | Ok json ->
+      print_endline (Fl_obs.Json.encode json)
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  let op =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OP"
+             ~doc:"Request op: lock, attack, analyze, status or shutdown.")
+  in
+  let kind =
+    Arg.(value & opt string "sat"
+         & info [ "kind" ] ~doc:"Attack kind: sat, cycsat or appsat.")
+  in
+  let scheme =
+    Arg.(value & opt string "full-lock" & info [ "scheme" ] ~doc:"Lock scheme.")
+  in
+  let plr =
+    Arg.(value & opt string "1x8"
+         & info [ "plr" ] ~doc:"Full-Lock PLR block sizes.")
+  in
+  let cyclic =
+    Arg.(value & flag & info [ "cyclic" ] ~doc:"Full-Lock cyclic insertion.")
+  in
+  let key_bits =
+    Arg.(value & opt int 16 & info [ "key-bits" ] ~doc:"Key width.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Lock RNG seed.") in
+  let circuit =
+    Arg.(value & opt (some string) None
+         & info [ "circuit" ] ~docv:"FILE"
+             ~doc:"Host circuit .bench for lock/analyze ($(b,-) = stdin).")
+  in
+  let locked =
+    Arg.(value & opt (some string) None
+         & info [ "locked" ] ~docv:"FILE"
+             ~doc:"Locked circuit .bench for attack ($(b,-) = stdin).")
+  in
+  let oracle =
+    Arg.(value & opt (some string) None
+         & info [ "oracle" ] ~docv:"FILE"
+             ~doc:"Oracle .bench for attack/analyze ($(b,-) = stdin).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Requested wall budget (the server clamps to its cap).")
+  in
+  let max_conflicts =
+    Arg.(value & opt (some int) None
+         & info [ "max-conflicts" ] ~docv:"N"
+             ~doc:"Requested solver-conflict budget.")
+  in
+  let events =
+    Arg.(value & opt string "attack"
+         & info [ "events" ] ~docv:"MODE"
+             ~doc:"Streamed telemetry: none, attack or all.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet-events" ]
+             ~doc:"Consume event frames silently instead of echoing them \
+                   to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Send one request to a running fulllock daemon")
+    Term.(const run $ socket_arg $ op $ kind $ scheme $ plr $ cyclic
+          $ key_bits $ seed $ circuit $ locked $ oracle $ timeout
+          $ max_conflicts $ events $ quiet)
+
 let () =
   let doc = "Full-Lock logic locking toolbox (DAC'19 reproduction)" in
   let info = Cmd.info "fulllock" ~version:"1.0.0" ~doc in
@@ -474,4 +634,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; suite_cmd; stats_cmd; lock_cmd; verify_cmd; attack_cmd;
             optimize_cmd; activate_cmd; export_cmd; equiv_cmd; coverage_cmd;
-            testgen_cmd ]))
+            testgen_cmd; serve_cmd; client_cmd ]))

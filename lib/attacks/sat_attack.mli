@@ -47,8 +47,13 @@ type progress = int -> float -> unit
     [inprocess_min_conflicts] (default off / 8 / 2048) are forwarded
     too: between-iterations {!Fl_sat.Inprocess} simplification of the
     growing attack formula with a solver rebuild every N DIP iterations,
-    conflict-gated as described in {!Session.create}. *)
+    conflict-gated as described in {!Session.create}.  [base] starts the
+    session from a prepared {!Session.Base} snapshot (see there): the
+    miter and its preprocessing are reused instead of rebuilt, and
+    [extra_key_constraint] / [preprocess] are superseded by what the base
+    captured. *)
 val run :
+  ?base:Session.Base.t ->
   ?timeout:float ->
   ?max_conflicts:int ->
   ?max_iterations:int ->

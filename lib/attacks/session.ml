@@ -14,6 +14,8 @@ module Locked = Fl_locking.Locked
 let c_dip_screened = Fl_obs.Counter.make "session.dip.screened"
 let c_dip_solver = Fl_obs.Counter.make "session.dip.solver"
 let c_screen_passes = Fl_obs.Counter.make "session.screen.passes"
+let c_base_prepared = Fl_obs.Counter.make "session.base.prepared"
+let c_base_reused = Fl_obs.Counter.make "session.base.reused"
 
 (* A formula paired with an incremental solver: [sync] feeds the solver only
    the clauses appended since the last call, so the DIP loop stays linear in
@@ -153,38 +155,114 @@ let frozen_vars (m : Miter.t) =
     [ m.Miter.inputs; m.Miter.keys_a; m.Miter.keys_b;
       m.Miter.outputs_a; m.Miter.outputs_b ]
 
-let create ?extra_key_constraint ?(label = "sat") ?max_conflicts
+(* A prepared base: the locked circuit's miter with any extra key
+   constraint asserted and the one-shot preprocessing already run, frozen
+   into an immutable snapshot that any number of sessions can start from.
+   Sessions mutate their miter formula (observation constraints append,
+   inprocessing replaces it), so [create] hands each one a private
+   {!Formula.copy} of the base formula — Tseytin encoding and SatELite
+   never re-run.  [Preprocess.t] reconstruction is a pure replay of the
+   elimination stack, safe to share across sessions and domains; the
+   formula copy is the only per-session cost. *)
+module Base = struct
+  type t = {
+    b_circuit : Circuit.t;
+    b_miter : Miter.t;  (* formula is the reduced base; never mutated *)
+    b_pre : Preprocess.t option;
+    b_extra : (Formula.t -> int array -> unit) option;
+  }
+
+  let prepare ?extra_key_constraint ?(label = "base") ?(preprocess = true)
+      circuit =
+    let miter0 =
+      Fl_obs.with_span "session.build_miter" (fun () -> Miter.build circuit)
+    in
+    (match extra_key_constraint with
+     | Some add ->
+       add miter0.Miter.formula miter0.Miter.keys_a;
+       add miter0.Miter.formula miter0.Miter.keys_b
+     | None -> ());
+    (* See [create]: an Unsat preprocessing verdict would mean the miter
+       itself is contradictory — fall back to the unpreprocessed base. *)
+    let pre, miter =
+      if not preprocess then (None, miter0)
+      else begin
+        let p =
+          Fl_obs.with_span "session.preprocess" (fun () ->
+              Preprocess.run ~label ~frozen:(frozen_vars miter0)
+                miter0.Miter.formula)
+        in
+        if Preprocess.is_unsat p then (None, miter0)
+        else (Some p, { miter0 with Miter.formula = Preprocess.formula p })
+      end
+    in
+    Fl_obs.Counter.incr c_base_prepared;
+    { b_circuit = circuit; b_miter = miter; b_pre = pre;
+      b_extra = extra_key_constraint }
+
+  let circuit b = b.b_circuit
+  let clause_var_ratio b = Formula.ratio b.b_miter.Miter.formula
+  let preprocess_stats b = Option.map Preprocess.stats b.b_pre
+end
+
+let create ?base ?extra_key_constraint ?(label = "sat") ?max_conflicts
     ?(preprocess = true) ?(inprocess = false) ?(inprocess_every = 8)
     ?(inprocess_min_conflicts = 2048) ?(backend = Solver_intf.cdcl)
     ~deadline locked =
   let circuit = locked.Locked.locked in
-  let miter0 = Fl_obs.with_span "session.build_miter" (fun () -> Miter.build circuit) in
+  (* With a prepared base, the miter (extra constraint included) and the
+     preprocessing verdict come from the snapshot; the session's private
+     formula is a copy so observation constraints and inprocessing never
+     touch the shared base.  The [extra_key_constraint] and [preprocess]
+     arguments are superseded by what the base was prepared with. *)
+  let extra_key_constraint =
+    match base with
+    | Some b -> b.Base.b_extra
+    | None -> extra_key_constraint
+  in
+  let pre, miter =
+    match base with
+    | Some b ->
+      if not (b.Base.b_circuit == circuit) then
+        invalid_arg
+          "Fl_attacks.Session.create: base was prepared for a different \
+           circuit";
+      Fl_obs.Counter.incr c_base_reused;
+      ( b.Base.b_pre,
+        { b.Base.b_miter with
+          Miter.formula = Formula.copy b.Base.b_miter.Miter.formula } )
+    | None ->
+      let miter0 =
+        Fl_obs.with_span "session.build_miter" (fun () -> Miter.build circuit)
+      in
+      (match extra_key_constraint with
+       | Some add ->
+         add miter0.Miter.formula miter0.Miter.keys_a;
+         add miter0.Miter.formula miter0.Miter.keys_b
+       | None -> ());
+      (* Preprocess the base miter (including any extra key constraint,
+         which the simplifier may exploit) with the interface variables
+         frozen.  The key-recovery formula is not preprocessed: it grows by
+         whole circuit copies per observation, so a one-shot pass would be
+         stale after the first iteration.  An Unsat verdict here would mean
+         the miter itself is contradictory — defensively fall back to the
+         unpreprocessed path. *)
+      if not preprocess then (None, miter0)
+      else begin
+        let p =
+          Fl_obs.with_span "session.preprocess" (fun () ->
+              Preprocess.run ~label ~frozen:(frozen_vars miter0)
+                miter0.Miter.formula)
+        in
+        if Preprocess.is_unsat p then (None, miter0)
+        else (Some p, { miter0 with Miter.formula = Preprocess.formula p })
+      end
+  in
   let key_formula = Formula.create () in
   let key_vars = Formula.fresh_vars key_formula (Circuit.num_keys circuit) in
   (match extra_key_constraint with
-   | Some add ->
-     add key_formula key_vars;
-     add miter0.Miter.formula miter0.Miter.keys_a;
-     add miter0.Miter.formula miter0.Miter.keys_b
+   | Some add -> add key_formula key_vars
    | None -> ());
-  (* Preprocess the base miter (including any extra key constraint, which
-     the simplifier may exploit) with the interface variables frozen.  The
-     key-recovery formula is not preprocessed: it grows by whole circuit
-     copies per observation, so a one-shot pass would be stale after the
-     first iteration.  An Unsat verdict here would mean the miter itself is
-     contradictory — defensively fall back to the unpreprocessed path. *)
-  let pre, miter =
-    if not preprocess then None, miter0
-    else begin
-      let p =
-        Fl_obs.with_span "session.preprocess" (fun () ->
-            Preprocess.run ~label ~frozen:(frozen_vars miter0)
-              miter0.Miter.formula)
-      in
-      if Preprocess.is_unsat p then None, miter0
-      else Some p, { miter0 with Miter.formula = Preprocess.formula p }
-    end
-  in
   let miter_tracked = tracked_of backend miter.Miter.formula in
   let key_tracked = tracked_of backend key_formula in
   arm_progress label "miter" miter_tracked;

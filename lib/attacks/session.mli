@@ -5,7 +5,46 @@
 
 type t
 
-(** [create ?extra_key_constraint ?label ?max_conflicts ?preprocess
+(** {1 Prepared bases}
+
+    The expensive, observation-independent part of a session — building
+    the miter (Tseytin encoding of two circuit copies), asserting any
+    extra key constraint, and the one-shot SatELite-style preprocessing —
+    depends only on the locked circuit.  A {!Base.t} freezes that work
+    into an immutable snapshot: any number of sessions (concurrently, on
+    any domain) can then be created from it, each receiving a private
+    copy of the reduced formula, so attacking the same circuit twice
+    never re-runs Tseytin + preprocessing.  This is the unit the
+    [Fl_serve] content-addressed cache stores. *)
+module Base : sig
+  type t
+
+  (** [prepare ?extra_key_constraint ?label ?preprocess circuit] builds
+      and preprocesses the base miter of [circuit] once.  The arguments
+      mean what they mean on {!Session.create}; they are captured in the
+      snapshot, so sessions created from this base inherit them
+      (CycSAT's no-cycle emitter prepared here is re-applied to each
+      session's key-recovery formula).  Counted on
+      [session.base.prepared]. *)
+  val prepare :
+    ?extra_key_constraint:(Fl_cnf.Formula.t -> int array -> unit) ->
+    ?label:string ->
+    ?preprocess:bool ->
+    Fl_netlist.Circuit.t ->
+    t
+
+  (** The circuit the base was prepared for.  {!Session.create} requires
+      the session's locked circuit to be {e physically} this one. *)
+  val circuit : t -> Fl_netlist.Circuit.t
+
+  (** Clauses-to-variables ratio of the (reduced) base formula. *)
+  val clause_var_ratio : t -> float
+
+  (** As {!Session.preprocess_stats}, for the base's one-shot pass. *)
+  val preprocess_stats : t -> Fl_sat.Preprocess.stats option
+end
+
+(** [create ?base ?extra_key_constraint ?label ?max_conflicts ?preprocess
     ?backend ~deadline locked] builds the miter and the key-recovery
     formula; [extra_key_constraint] is asserted over both miter key copies
     and the recovery keys.  [deadline] is an absolute Unix time.
@@ -44,8 +83,20 @@ type t
     non-inprocessed session.
 
     [backend] (default {!Fl_sat.Solver_intf.cdcl}) selects the incremental
-    SAT backend both session solvers run on. *)
+    SAT backend both session solvers run on.
+
+    [base] starts the session from a prepared {!Base.t} snapshot instead
+    of building the miter: the session gets a private {!Fl_cnf.Formula}
+    copy of the base's reduced formula, the base's preprocessing layer
+    for model reconstruction, and the base's extra key constraint
+    (re-applied to this session's fresh key-recovery formula).  The
+    [extra_key_constraint] and [preprocess] arguments are ignored in
+    favour of what the base captured.  The locked circuit must be
+    physically [Base.circuit base] (the miter encodes exactly that
+    node numbering) or [create] raises [Invalid_argument].  Counted on
+    [session.base.reused]. *)
 val create :
+  ?base:Base.t ->
   ?extra_key_constraint:(Fl_cnf.Formula.t -> int array -> unit) ->
   ?label:string ->
   ?max_conflicts:int ->

@@ -62,6 +62,29 @@ let take_inprocess args =
   let every = Option.map parse_inprocess_every every in
   check_inprocess ~on ~off ~every, args
 
+(* Whole-file slurp with the conventional "-" = stdin spelling, shared
+   by the daemon client (bench payloads travel inline over the socket)
+   and fltrace. *)
+let slurp path =
+  let read_channel ic =
+    let buf = Buffer.create 65536 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 65536
+       done
+     with End_of_file -> ());
+    Buffer.contents buf
+  in
+  if path = "-" then read_channel stdin
+  else
+    match open_in_bin path with
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot read %s: %s\n" path msg;
+      exit 2
+    | ic ->
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          read_channel ic)
+
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
 let parse_jobs s =

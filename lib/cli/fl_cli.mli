@@ -32,6 +32,10 @@ val check_inprocess : on:bool -> off:bool -> every:int option -> inprocess
     otherwise. *)
 val parse_inprocess_every : string -> int
 
+(** [slurp path] reads the whole file as raw bytes; ["-"] reads stdin to
+    EOF.  Exits 2 when the file cannot be opened. *)
+val slurp : string -> string
+
 (** Pool width default: [recommended_domain_count () - 1], at least 1. *)
 val default_jobs : unit -> int
 

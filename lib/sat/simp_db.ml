@@ -99,7 +99,6 @@ type t = {
   mutable cl : int array array;  (* [||] = dead slot *)
   mutable sg : int array;  (* per-clause variable signature *)
   mutable n : int;  (* clause slots used *)
-  mutable live : int;
   occ : Vec.t array;  (* literal -> clause indices (stale entries allowed) *)
   queue : int Queue.t;  (* subsumption work list *)
   mutable queued : Bytes.t;  (* clause idx -> queued flag *)
@@ -128,8 +127,7 @@ let enqueue_clause db ci =
 let kill db ci =
   if alive db ci then begin
     db.cl.(ci) <- [||];
-    db.sg.(ci) <- 0;
-    db.live <- db.live - 1
+    db.sg.(ci) <- 0
   end
 
 (* Append a canonical clause; occurrence entries for every literal, queued
@@ -156,7 +154,6 @@ let append db lits =
     db.cl.(ci) <- lits;
     db.sg.(ci) <- signature lits;
     db.n <- ci + 1;
-    db.live <- db.live + 1;
     Array.iter (fun l -> Vec.push db.occ.(lidx l) ci) lits;
     enqueue_clause db ci;
     ci
@@ -353,7 +350,6 @@ let create ~frozen f =
       cl = Array.make (max 64 (Formula.num_clauses f)) [||];
       sg = Array.make (max 64 (Formula.num_clauses f)) 0;
       n = 0;
-      live = 0;
       occ = Array.init (2 * max 1 nvars) (fun _ -> Vec.create ());
       queue = Queue.create ();
       queued = Bytes.make (max 64 (Formula.num_clauses f)) '\000';

@@ -1,0 +1,122 @@
+(** Shared occurrence-list clause database for the CNF simplifiers.
+
+    {!Preprocess} (the one-shot SatELite pass) and {!Inprocess} (the
+    between-iterations engine) both work on this representation: packed
+    canonical clauses with per-clause 63-bit variable signatures, literal
+    occurrence lists with lazy staleness compaction, a subsumption work
+    queue, and one elimination stack driving model reconstruction.  The
+    two passes layer their own reasoning (subsumption/BVE fixpoints,
+    probing, SCC collapsing, XOR/Gauss) on top.
+
+    Like {!Solver_intf}, the record is exposed directly — the clients
+    live in this library and need structural access to clauses and
+    occurrence lists.  The internal reasoning steps (subsumption checks,
+    resolution, single-variable elimination) are sealed behind the
+    sweep/drain entry points. *)
+
+(** Growable int vector (occurrence lists).  [data] beyond [size] is
+    garbage; {!Inprocess} snapshots prefixes directly. *)
+module Vec : sig
+  type t = { mutable data : int array; mutable size : int }
+
+  val create : unit -> t
+  val push : t -> int -> unit
+  val get : t -> int -> int
+  val size : t -> int
+end
+
+(** Literal index for occurrence lists: variable [v] occupies slots
+    [2*(v-1)] (positive) and [2*(v-1)+1] (negative). *)
+val lidx : int -> int
+
+(** Canonicalize a literal array in place: sort by variable, drop
+    duplicate literals, detect tautologies.  [None] for a tautology,
+    otherwise the clause trimmed to its deduplicated prefix.  The caller
+    must own the array (it is sorted and possibly truncated). *)
+val canonical : int array -> int array option
+
+type t = {
+  nvars : int;
+  frozen_set : Bytes.t;  (** var-1 -> ['\001'] when frozen *)
+  mutable cl : int array array;  (** [[||]] = dead slot *)
+  mutable sg : int array;  (** per-clause variable signature *)
+  mutable n : int;  (** clause slots used *)
+  occ : Vec.t array;
+      (** literal -> clause indices (stale entries allowed) *)
+  queue : int Queue.t;  (** subsumption work list *)
+  mutable queued : Bytes.t;  (** clause idx -> queued flag *)
+  elim_set : Bytes.t;  (** var-1 -> ['\001'] when eliminated *)
+  mutable elim_stack : (int * int array list) list;
+  mutable unsat : bool;
+  (* counters *)
+  mutable n_taut : int;
+  mutable n_dup : int;
+  mutable n_sub : int;
+  mutable n_str : int;
+  mutable n_elim : int;
+  mutable n_res : int;
+}
+
+(** [create ~frozen f] loads [f]: canonicalizes every clause, drops
+    tautologies and exact duplicates (counted in [n_taut]/[n_dup]), and
+    queues everything for subsumption.  Variables in [frozen] are never
+    eliminated. *)
+val create : frozen:int array -> Fl_cnf.Formula.t -> t
+
+val alive : t -> int -> bool
+val frozen : t -> int -> bool
+val eliminated : t -> int -> bool
+
+(** [kill db ci] retires clause slot [ci] (idempotent). *)
+val kill : t -> int -> unit
+
+(** [append db lits] appends a {e canonical} clause, indexes its
+    occurrences and queues it for subsumption.  An empty clause flips
+    [unsat] and returns [-1]; otherwise the new clause index. *)
+val append : t -> int array -> int
+
+(** [strengthen db ci l] removes literal [l] from clause [ci]
+    (self-subsuming resolution); the stale occurrence entry is left for
+    lazy compaction. *)
+val strengthen : t -> int -> int -> unit
+
+(** [occurrences db l] is the live clause indices currently containing
+    literal [l], compacting the occurrence list in place. *)
+val occurrences : t -> int -> int list
+
+(** [occ_count db v] is the (possibly stale) occurrence-list length of
+    both polarities of variable [v] — the cheap elimination-order
+    heuristic. *)
+val occ_count : t -> int -> int
+
+(** Run backward subsumption/strengthening until the work queue is empty
+    (or [unsat]). *)
+val drain_subsumption : t -> unit
+
+(** [elimination_sweep db ~growth ~max_occ] — one bounded-variable-
+    elimination sweep over all variables, cheapest first, draining the
+    subsumption queue after each.  Returns how many variables the sweep
+    eliminated. *)
+val elimination_sweep : t -> growth:int -> max_occ:int -> int
+
+(** Number of distinct variables occurring in any (even dead) clause
+    slot — the reduced formula's effective variable count. *)
+val count_occurring_vars : t -> int
+
+(** [(clauses, literals)] over live slots. *)
+val live_counts : t -> int * int
+
+(** Emit the reduced formula, numbering preserved.  Transfers clause-
+    array ownership — the db must not be used afterwards. *)
+val extract : t -> Fl_cnf.Formula.t
+
+(** [push_elim db v saved] records [v] as eliminated with the clauses
+    removed at its elimination — the snapshots {!reconstruct_stack}
+    replays.  Also used by {!Inprocess} for equivalence substitutions
+    ([v := l] saved as [[v; -l]; [-v; l]]) and derived units ([[l]]). *)
+val push_elim : t -> int -> int array list -> unit
+
+(** [reconstruct_stack stack model] replays an elimination stack
+    most-recent-first, extending [model] with values for eliminated /
+    substituted variables. *)
+val reconstruct_stack : (int * int array list) list -> bool array -> bool array

@@ -1,0 +1,162 @@
+module Circuit = Fl_netlist.Circuit
+module Bench_io = Fl_netlist.Bench_io
+module View = Fl_netlist.View
+module Session = Fl_attacks.Session
+
+(* Global counters mirror the per-instance ones so daemon traces and
+   --stats snapshots see cache behaviour without asking the server. *)
+let c_circuit_hit = Fl_obs.Counter.make "serve.cache.circuit.hit"
+let c_circuit_miss = Fl_obs.Counter.make "serve.cache.circuit.miss"
+let c_base_hit = Fl_obs.Counter.make "serve.cache.base.hit"
+let c_base_miss = Fl_obs.Counter.make "serve.cache.base.miss"
+let c_collision = Fl_obs.Counter.make "serve.cache.collision"
+
+type mode = Sat | Cycsat
+
+let mode_to_string = function Sat -> "sat" | Cycsat -> "cycsat"
+
+(* A bounded FIFO-evicting string-keyed table.  FIFO (not LRU) keeps the
+   bookkeeping at one queue push per insert; the cache exists to absorb
+   bursts of requests against the same few circuits, for which any
+   reasonable policy behaves identically. *)
+module Bounded = struct
+  type 'a t = {
+    table : (string, 'a) Hashtbl.t;
+    order : string Queue.t;
+    max : int;
+  }
+
+  let create max = { table = Hashtbl.create 32; order = Queue.create (); max }
+  let find t k = Hashtbl.find_opt t.table k
+
+  let add t k v =
+    if not (Hashtbl.mem t.table k) then begin
+      if Hashtbl.length t.table >= t.max then begin
+        match Queue.take_opt t.order with
+        | Some oldest -> Hashtbl.remove t.table oldest
+        | None -> ()
+      end;
+      Queue.push k t.order
+    end;
+    Hashtbl.replace t.table k v
+
+  let size t = Hashtbl.length t.table
+end
+
+type t = {
+  lock : Mutex.t;
+  circuits : Circuit.t Bounded.t;  (* MD5 of bench text -> parse *)
+  bases : Session.Base.t Bounded.t;  (* structural hash + mode -> base *)
+  mutable circuit_hit : int;
+  mutable circuit_miss : int;
+  mutable base_hit : int;
+  mutable base_miss : int;
+  mutable collisions : int;
+}
+
+let create ?(max_circuits = 64) ?(max_bases = 64) () =
+  {
+    lock = Mutex.create ();
+    circuits = Bounded.create (max 1 max_circuits);
+    bases = Bounded.create (max 1 max_bases);
+    circuit_hit = 0;
+    circuit_miss = 0;
+    base_hit = 0;
+    base_miss = 0;
+    collisions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let circuit_of_text t text =
+  let key = Digest.to_hex (Digest.string text) in
+  match locked t (fun () -> Bounded.find t.circuits key) with
+  | Some c ->
+    locked t (fun () -> t.circuit_hit <- t.circuit_hit + 1);
+    Fl_obs.Counter.incr c_circuit_hit;
+    (c, `Hit)
+  | None ->
+    (* Parse outside the lock: malformed text must not poison it, and
+       parsing large benches under a shared mutex would serialize
+       unrelated requests. *)
+    let c = Bench_io.parse_string text in
+    locked t (fun () ->
+        t.circuit_miss <- t.circuit_miss + 1;
+        Bounded.add t.circuits key c);
+    Fl_obs.Counter.incr c_circuit_miss;
+    (c, `Miss)
+
+(* Cheap functional cross-check of a structural-hash hit against a
+   circuit that is not physically the cached one: random probes under
+   two shared random keys.  Cost is a few word-sim passes — noise next
+   to the Tseytin + SatELite work a false hit would corrupt. *)
+let probe_agree cached_c c =
+  let va = View.of_circuit cached_c and vb = View.of_circuit c in
+  let nk = Circuit.num_keys c in
+  let rng = Random.State.make [| 0x5e21e; nk |] in
+  let trials = 2 in
+  let rec go i =
+    i >= trials
+    ||
+    let key = Array.init nk (fun _ -> Random.State.bool rng) in
+    View.agree_on_probes ~vectors:128 ~seed:(Random.State.bits rng) va
+      ~keys_a:key vb ~keys_b:key
+    && go (i + 1)
+  in
+  (* A true 64-bit collision may not even have matching interface widths;
+     any probe failure mode means "not the same circuit". *)
+  try go 0 with _ -> false
+
+let base_for t ~mode c =
+  let hash = View.structural_hash_hex (View.of_circuit c) in
+  let key = hash ^ ":" ^ mode_to_string mode in
+  let cached = locked t (fun () -> Bounded.find t.bases key) in
+  let hit =
+    match cached with
+    | Some b when Session.Base.circuit b == c -> Some b
+    | Some b ->
+      if probe_agree (Session.Base.circuit b) c then Some b
+      else begin
+        locked t (fun () -> t.collisions <- t.collisions + 1);
+        Fl_obs.Counter.incr c_collision;
+        None
+      end
+    | None -> None
+  in
+  match hit with
+  | Some b ->
+    locked t (fun () -> t.base_hit <- t.base_hit + 1);
+    Fl_obs.Counter.incr c_base_hit;
+    (b, `Hit)
+  | None ->
+    (* Prepare outside the lock — this is the expensive path (Tseytin +
+       preprocessing, plus cycle analysis for Cycsat bases).  Two
+       racing requests for the same new circuit may both prepare; the
+       second insert wins, which is wasteful once but always sound. *)
+    let b =
+      match mode with
+      | Sat -> Session.Base.prepare ~label:"serve" c
+      | Cycsat ->
+        Session.Base.prepare
+          ~extra_key_constraint:(Fl_attacks.Cycsat.no_cycle_condition c)
+          ~label:"serve" c
+    in
+    locked t (fun () ->
+        t.base_miss <- t.base_miss + 1;
+        Bounded.add t.bases key b);
+    Fl_obs.Counter.incr c_base_miss;
+    (b, `Miss)
+
+let stats t =
+  locked t (fun () ->
+      [
+        "circuit.hit", t.circuit_hit;
+        "circuit.miss", t.circuit_miss;
+        "base.hit", t.base_hit;
+        "base.miss", t.base_miss;
+        "collisions", t.collisions;
+        "circuits", Bounded.size t.circuits;
+        "bases", Bounded.size t.bases;
+      ])

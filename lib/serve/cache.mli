@@ -1,0 +1,61 @@
+(** The daemon's content-addressed cache: the amortisation layer that
+    makes serving the same host circuit twice cheap.
+
+    Two levels:
+
+    - {e text level} — MD5 digest of the raw [.bench] text to the parsed
+      {!Fl_netlist.Circuit.t}.  A hit skips parsing, and because the
+      {e same physical circuit} is returned, the per-domain
+      {!Fl_netlist.View} memo (keyed by physical identity) and every
+      view-level analysis (including {!Fl_netlist.View.structural_hash})
+      come back for free on any domain that has seen the circuit.
+    - {e base level} — {!Fl_netlist.View.structural_hash} of the locked
+      circuit plus the attack mode to a prepared
+      {!Fl_attacks.Session.Base}.  A hit skips the miter Tseytin
+      encoding, the CycSAT cycle analysis (the emitter is captured in
+      the base) and the one-shot SatELite preprocessing; each session
+      then only pays a formula copy.  Keying by {e structural} hash
+      means a renamed or node-permuted copy of a known circuit still
+      hits.
+
+    A 64-bit structural hash can collide in principle, so a base hit for
+    a circuit that is not physically the cached one is {e probed} first:
+    the two circuits must agree on random simulation vectors under
+    shared random keys ({!Fl_netlist.View.agree_on_probes}).  A probe
+    failure counts on [collisions] and is served as a miss (the fresh
+    base replaces the cached entry).
+
+    On a base hit the caller must attack {!Fl_attacks.Session.Base.circuit}
+    (the cached circuit) instead of its own parse — the cached miter
+    encodes that node numbering; positional key/input/output isomorphism
+    makes the recovered key valid for the request's circuit.
+
+    Both levels are bounded (FIFO eviction) and mutex-guarded: worker
+    domains running requests in parallel share one cache. *)
+
+type t
+
+val create : ?max_circuits:int -> ?max_bases:int -> unit -> t
+
+(** [circuit_of_text t text] parses [text] or returns the cached parse.
+    @raise Fl_netlist.Bench_io.Parse_error on malformed bench text. *)
+val circuit_of_text :
+  t -> string -> Fl_netlist.Circuit.t * [ `Hit | `Miss ]
+
+(** Attack mode of a prepared base.  [Sat] bases (plain miter, used by
+    sat and appsat attacks) and [Cycsat] bases (no-cycle condition
+    asserted) are cached separately — same circuit, different CNF. *)
+type mode = Sat | Cycsat
+
+val mode_to_string : mode -> string
+
+(** [base_for t ~mode c] returns a prepared base for [c], building (and
+    caching) it on miss. *)
+val base_for :
+  t -> mode:mode -> Fl_netlist.Circuit.t ->
+  Fl_attacks.Session.Base.t * [ `Hit | `Miss ]
+
+(** Per-instance counters, stable key order:
+    [circuit.hit], [circuit.miss], [base.hit], [base.miss],
+    [collisions], [circuits], [bases] (current occupancy). *)
+val stats : t -> (string * int) list

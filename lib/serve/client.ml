@@ -1,0 +1,56 @@
+module Json = Fl_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* close_out closes the shared fd; the in_channel must not be
+       closed separately. *)
+    try close_out t.oc with _ -> (try Unix.close t.fd with _ -> ())
+  end
+
+let request ?on_event t req =
+  if t.closed then Result.Error "connection closed"
+  else
+    match
+      output_string t.oc (Json.encode (Protocol.request_to_json req));
+      output_char t.oc '\n';
+      flush t.oc
+    with
+    | exception e -> Result.Error ("write failed: " ^ Printexc.to_string e)
+    | () ->
+      let want = req.Protocol.id in
+      let rec loop () =
+        match input_line t.ic with
+        | exception (End_of_file | Sys_error _) ->
+          Result.Error "connection closed before the terminal frame"
+        | line ->
+          (match Protocol.parse_frame line with
+           | Result.Error msg -> Result.Error msg
+           | Result.Ok (id, _) when id <> want -> loop ()
+           | Result.Ok (_, Protocol.Event e) ->
+             (match on_event with Some f -> f e | None -> ());
+             loop ()
+           | Result.Ok (_, Protocol.Result j) -> Result.Ok j
+           | Result.Ok (_, Protocol.Error msg) -> Result.Error msg)
+      in
+      loop ()

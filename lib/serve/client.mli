@@ -1,0 +1,27 @@
+(** Blocking client for the {!Server} daemon.
+
+    One connection, one request at a time: {!request} writes the request
+    line and reads frames until the terminal [result] or [error] frame
+    arrives, invoking [on_event] for each streamed [event] frame in
+    between.  Frames whose [id] does not match the request's are
+    dropped (the server never interleaves streams on one connection
+    unless the caller pipelines requests itself). *)
+
+type t
+
+(** [connect path] connects to the daemon's Unix-domain socket.
+    @raise Unix.Unix_error when the socket cannot be reached. *)
+val connect : string -> t
+
+(** [request ?on_event t req] sends [req] and blocks until its terminal
+    frame: [Ok json] for a [result] frame, [Error msg] for an [error]
+    frame or a transport/protocol failure (connection closed mid-stream,
+    malformed frame). *)
+val request :
+  ?on_event:(Fl_obs.event -> unit) ->
+  t ->
+  Protocol.request ->
+  (Fl_obs.Json.t, string) result
+
+(** [close t] closes the connection.  Idempotent. *)
+val close : t -> unit

@@ -1,0 +1,220 @@
+module Json = Fl_obs.Json
+
+type events_mode = Events_none | Events_attack | Events_all
+
+let events_mode_of_string = function
+  | "none" -> Ok Events_none
+  | "attack" -> Ok Events_attack
+  | "all" -> Ok Events_all
+  | other -> Error (Printf.sprintf "bad events mode %S (none|attack|all)" other)
+
+let events_mode_to_string = function
+  | Events_none -> "none"
+  | Events_attack -> "attack"
+  | Events_all -> "all"
+
+type request = {
+  id : string;
+  op : string;
+  kind : string;
+  scheme : string;
+  plr : string;
+  cyclic : bool;
+  key_bits : int;
+  seed : int;
+  circuit : string option;
+  locked : string option;
+  oracle : string option;
+  timeout : float option;
+  max_conflicts : int option;
+  events : events_mode;
+}
+
+let default_request =
+  {
+    id = "";
+    op = "";
+    kind = "sat";
+    scheme = "full-lock";
+    plr = "1x8";
+    cyclic = false;
+    key_bits = 16;
+    seed = 1;
+    circuit = None;
+    locked = None;
+    oracle = None;
+    timeout = None;
+    max_conflicts = None;
+    events = Events_attack;
+  }
+
+(* Typed member accessors over the parsed object; each mismatch is a
+   protocol error with the member named, not a silent default. *)
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let get_string k = function
+  | Json.Jstring s -> s
+  | _ -> bad "member %S must be a string" k
+
+let get_bool k = function
+  | Json.Jbool b -> b
+  | _ -> bad "member %S must be a boolean" k
+
+let get_int k = function
+  | Json.Jint i -> i
+  | _ -> bad "member %S must be an integer" k
+
+let get_float k = function
+  | Json.Jint i -> float_of_int i
+  | Json.Jfloat f -> f
+  | _ -> bad "member %S must be a number" k
+
+let parse_request line =
+  match Json.parse line with
+  | exception Json.Parse_error msg -> Error ("malformed JSON: " ^ msg)
+  | Json.Jobj members ->
+    (try
+       let r =
+         List.fold_left
+           (fun r (k, v) ->
+             match k with
+             | "id" -> { r with id = get_string k v }
+             | "op" -> { r with op = get_string k v }
+             | "kind" -> { r with kind = get_string k v }
+             | "scheme" -> { r with scheme = get_string k v }
+             | "plr" -> { r with plr = get_string k v }
+             | "cyclic" -> { r with cyclic = get_bool k v }
+             | "key_bits" -> { r with key_bits = get_int k v }
+             | "seed" -> { r with seed = get_int k v }
+             | "circuit" -> { r with circuit = Some (get_string k v) }
+             | "locked" -> { r with locked = Some (get_string k v) }
+             | "oracle" -> { r with oracle = Some (get_string k v) }
+             | "timeout" -> { r with timeout = Some (get_float k v) }
+             | "max_conflicts" ->
+               { r with max_conflicts = Some (get_int k v) }
+             | "events" ->
+               (match events_mode_of_string (get_string k v) with
+                | Ok m -> { r with events = m }
+                | Error e -> raise (Bad e))
+             | _ -> r (* unknown members: forward compatibility *))
+           default_request members
+       in
+       if r.op = "" then Error "missing \"op\" member" else Ok r
+     with Bad msg -> Error msg)
+  | _ -> Error "request must be a JSON object"
+
+let request_to_json r =
+  let str k v rest = (k, Json.Jstring v) :: rest in
+  let opt_str k v rest =
+    match v with None -> rest | Some s -> (k, Json.Jstring s) :: rest
+  in
+  let fields = [] in
+  let fields =
+    if r.events = default_request.events then fields
+    else str "events" (events_mode_to_string r.events) fields
+  in
+  let fields =
+    match r.max_conflicts with
+    | None -> fields
+    | Some m -> ("max_conflicts", Json.Jint m) :: fields
+  in
+  let fields =
+    match r.timeout with
+    | None -> fields
+    | Some t -> ("timeout", Json.Jfloat t) :: fields
+  in
+  let fields = opt_str "oracle" r.oracle fields in
+  let fields = opt_str "locked" r.locked fields in
+  let fields = opt_str "circuit" r.circuit fields in
+  let fields =
+    if r.seed = default_request.seed then fields
+    else ("seed", Json.Jint r.seed) :: fields
+  in
+  let fields =
+    if r.key_bits = default_request.key_bits then fields
+    else ("key_bits", Json.Jint r.key_bits) :: fields
+  in
+  let fields =
+    if r.cyclic then ("cyclic", Json.Jbool true) :: fields else fields
+  in
+  let fields =
+    if r.plr = default_request.plr then fields else str "plr" r.plr fields
+  in
+  let fields =
+    if r.scheme = default_request.scheme then fields
+    else str "scheme" r.scheme fields
+  in
+  let fields =
+    if r.kind = default_request.kind then fields else str "kind" r.kind fields
+  in
+  let fields = str "op" r.op fields in
+  let fields = if r.id = "" then fields else str "id" r.id fields in
+  Json.Jobj fields
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Event frames splice [id]/[frame] in front of the flat single-line
+   event encoding, keeping Json.to_string the only event serializer. *)
+let event_frame ~id e =
+  let body = Json.to_string e in
+  let buf = Buffer.create (String.length body + 32) in
+  Buffer.add_string buf "{\"id\":";
+  Buffer.add_string buf (Json.string_to_string id);
+  Buffer.add_string buf ",\"frame\":\"event\",";
+  Buffer.add_substring buf body 1 (String.length body - 1);
+  Buffer.contents buf
+
+let result_frame ~id ~op fields =
+  Json.encode
+    (Json.Jobj
+       (("id", Json.Jstring id)
+        :: ("frame", Json.Jstring "result")
+        :: ("op", Json.Jstring op)
+        :: fields))
+
+let error_frame ~id message =
+  Json.encode
+    (Json.Jobj
+       [
+         "id", Json.Jstring id;
+         "frame", Json.Jstring "error";
+         "message", Json.Jstring message;
+       ])
+
+type frame = Event of Fl_obs.event | Result of Json.t | Error of string
+
+let parse_frame line =
+  match Json.parse line with
+  | exception Json.Parse_error msg -> Result.Error ("malformed JSON: " ^ msg)
+  | Json.Jobj _ as j ->
+    let id =
+      match Json.member "id" j with Some (Json.Jstring s) -> s | _ -> ""
+    in
+    (match Json.member "frame" j with
+     | Some (Json.Jstring "event") ->
+       (* Re-parse through the flat-event reader; the extra [id]/[frame]
+          members land in the field list and are stripped. *)
+       (match Json.of_string line with
+        | e ->
+          let fields =
+            List.filter
+              (fun (k, _) -> k <> "id" && k <> "frame")
+              e.Fl_obs.fields
+          in
+          Result.Ok (id, Event { e with Fl_obs.fields })
+        | exception Json.Parse_error msg ->
+          Result.Error ("malformed event frame: " ^ msg))
+     | Some (Json.Jstring "result") -> Result.Ok (id, Result j)
+     | Some (Json.Jstring "error") ->
+       let message =
+         match Json.member "message" j with
+         | Some (Json.Jstring m) -> m
+         | _ -> "unknown error"
+       in
+       Result.Ok (id, Error message)
+     | _ -> Result.Error "frame without a valid \"frame\" member")
+  | _ -> Result.Error "frame must be a JSON object"

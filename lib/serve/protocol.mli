@@ -1,0 +1,97 @@
+(** Wire protocol of the [Fl_serve] daemon: newline-delimited JSON.
+
+    Each request is one JSON object on one line; the server answers with
+    zero or more {e event} frames (streamed mid-request telemetry)
+    followed by exactly one terminal frame — {e result} on success,
+    {e error} otherwise.  Every frame echoes the request's [id], so a
+    client multiplexing several requests over one connection can route
+    frames; a well-formed exchange never interleaves frames of different
+    {e connections} (each connection has its own socket), and frames are
+    written atomically (one [write] per line under a per-connection
+    lock), so lines never tear.
+
+    Request schema (unknown members are ignored for forward
+    compatibility):
+
+    {v
+    {"id":"r1","op":"attack","kind":"sat",
+     "locked":"<bench text>","oracle":"<bench text>",
+     "timeout":30.0,"max_conflicts":200000,"events":"attack"}
+    {"id":"r2","op":"lock","circuit":"<bench text>","scheme":"rll",
+     "key_bits":16,"seed":1}
+    {"id":"r3","op":"analyze","circuit":"<bench text>",
+     "oracle":"<bench text, optional>"}
+    {"id":"r4","op":"status"}
+    {"id":"r5","op":"shutdown"}
+    v}
+
+    Circuits travel inline as [.bench] text — that is what makes the
+    server's cache content-addressed rather than path-dependent.
+
+    Frame schemas:
+
+    {v
+    {"id":"r1","frame":"event","ts":...,"event":"attack.iteration",...}
+    {"id":"r1","frame":"result","op":"attack",...}
+    {"id":"r1","frame":"error","message":"..."}
+    v}
+
+    Event frames are the flat {!Fl_obs.Json.to_string} encoding of the
+    forwarded event with [id] and [frame] members prepended. *)
+
+(** Which events of the serving attack are streamed back as [event]
+    frames. *)
+type events_mode =
+  | Events_none  (** no scoped sink is installed at all *)
+  | Events_attack  (** names starting with ["attack."] (default) *)
+  | Events_all  (** everything the request's span emits *)
+
+val events_mode_of_string : string -> (events_mode, string) result
+val events_mode_to_string : events_mode -> string
+
+(** A parsed request.  [op] is the verb; the remaining members carry
+    each verb's parameters and hold their defaults otherwise. *)
+type request = {
+  id : string;  (** echoed on every frame; defaults to [""] *)
+  op : string;  (** lock / attack / analyze / status / shutdown *)
+  kind : string;  (** attack flavour: sat (default) / cycsat / appsat *)
+  scheme : string;  (** lock scheme (default ["full-lock"]) *)
+  plr : string;  (** Full-Lock PLR sizes (default ["1x8"]) *)
+  cyclic : bool;  (** Full-Lock cyclic PLR insertion *)
+  key_bits : int;  (** key width for non-Full-Lock schemes (default 16) *)
+  seed : int;  (** lock RNG seed (default 1) *)
+  circuit : string option;  (** bench text: lock / analyze host *)
+  locked : string option;  (** bench text: attack target *)
+  oracle : string option;  (** bench text: attack / analyze oracle *)
+  timeout : float option;  (** requested wall budget, seconds *)
+  max_conflicts : int option;  (** requested solver-conflict budget *)
+  events : events_mode;
+}
+
+(** All defaults, [id = ""], [op = ""]. *)
+val default_request : request
+
+(** [parse_request line] decodes one request line.  [Error] carries a
+    human-readable reason (malformed JSON, non-object, missing/ill-typed
+    member). *)
+val parse_request : string -> (request, string) result
+
+(** [request_to_json r] is the wire form (used by the client; omits
+    members still at their defaults). *)
+val request_to_json : request -> Fl_obs.Json.t
+
+(** {1 Frame encoding (server side)} *)
+
+val event_frame : id:string -> Fl_obs.event -> string
+val result_frame : id:string -> op:string -> (string * Fl_obs.Json.t) list -> string
+val error_frame : id:string -> string -> string
+
+(** {1 Frame decoding (client side)} *)
+
+type frame =
+  | Event of Fl_obs.event  (** [id]/[frame] members already stripped *)
+  | Result of Fl_obs.Json.t  (** the whole frame object *)
+  | Error of string  (** the [message] member *)
+
+(** [parse_frame line] is [(id, frame)]. *)
+val parse_frame : string -> (string * frame, string) result

@@ -1,0 +1,63 @@
+(** The attack-as-a-service daemon.
+
+    A Unix-domain-socket server speaking the newline-delimited JSON
+    protocol of {!Protocol}.  Architecture:
+
+    - a {e listener} thread accepts connections; each connection gets a
+      {e reader} thread that parses request lines.  [status] and
+      [shutdown] are answered inline (they must not queue behind a long
+      attack); [lock] / [attack] / [analyze] are enqueued;
+    - one {e scheduler} thread owns the shared {!Fl_par} pool — the pool
+      contract (one batch at a time, submitted from one domain) is
+      honoured by construction.  It drains the queue into batches and
+      blocks in [Fl_par.run]; queued requests of concurrent clients run
+      in parallel across the pool's worker domains;
+    - each request executes as one pool task: it resolves circuits and
+      prepared bases through the shared {!Cache}, runs the attack under
+      a per-request {!Fl_obs.with_scoped_sink} that forwards selected
+      events to {e its own} client as [event] frames (scoped sinks are
+      domain-local, so concurrent requests never see each other's
+      telemetry), and writes its terminal [result] frame itself.  Frame
+      writes are serialized per connection; different clients write to
+      different sockets, so their streams cannot interleave.
+
+    Budgets: the server clamps every request's wall and conflict asks to
+    [max_timeout] / [max_conflicts] (requests that ask for nothing get
+    the caps as defaults), so a client cannot pin a worker domain
+    indefinitely.  The effective budgets and whether clamping occurred
+    are reported in the result frame.
+
+    Shutdown (request or {!stop}) closes the listener, rejects further
+    work, lets in-flight batches finish, and wakes every blocked reader
+    by shutting down its socket. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path (created; removed on exit) *)
+  jobs : int;  (** {!Fl_par} pool width; 1 = inline on the scheduler *)
+  max_timeout : float;  (** wall-budget cap and default, seconds *)
+  max_conflicts : int;  (** solver-conflict cap and default *)
+  cache_circuits : int;  (** text-level cache entries *)
+  cache_bases : int;  (** prepared-base cache entries *)
+}
+
+(** [jobs = 1], 300 s wall cap, 2M conflict cap, 64-entry caches. *)
+val default_config : socket:string -> config
+
+type t
+
+(** [start cfg] binds the socket (replacing a stale file), spawns the
+    listener and scheduler threads and returns immediately.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+val start : config -> t
+
+(** [wait t] blocks until the server stops (a [shutdown] request or
+    {!stop}), then joins every thread, shuts the pool down and removes
+    the socket file. *)
+val wait : t -> unit
+
+(** [stop t] initiates shutdown programmatically.  Idempotent; returns
+    without waiting (follow with {!wait}). *)
+val stop : t -> unit
+
+(** [run cfg] is [wait (start cfg)]. *)
+val run : config -> unit
