@@ -361,13 +361,20 @@ let verify_cmd =
 
 let attack_cmd =
   let run kind locked_path oracle_path timeout key_out trace stats inp_on
-      inp_off inp_every =
+      inp_off inp_every pf_jobs pf_det seed cube_depth cdcl_var_decay
+      cdcl_restart_base cdcl_phase cdcl_random_freq =
     (match trace with None -> () | Some file -> Fl_cli.install_trace file);
     (* Same validation (and exit-2 behaviour) as the getopt-style
        binaries: --inprocess/--no-inprocess are mutually exclusive. *)
     let inp = Fl_cli.check_inprocess ~on:inp_on ~off:inp_off ~every:inp_every in
     let inprocess = inp.Fl_cli.enabled in
     let inprocess_every = inp.Fl_cli.every in
+    let portfolio =
+      Fl_cli.check_solver ?portfolio:pf_jobs ~det:pf_det ?seed ?cube_depth
+        ?var_decay:cdcl_var_decay ?restart_base:cdcl_restart_base
+        ?phase:(Option.map Fl_cli.parse_phase cdcl_phase)
+        ?random_freq:cdcl_random_freq ()
+    in
     if stats then begin
       (* Deep telemetry so the snapshot includes the cdcl.* histograms. *)
       Fl_obs.set_deep true;
@@ -390,10 +397,10 @@ let attack_cmd =
        let result =
          if kind = "sat" then
            Fl_attacks.Sat_attack.run ~timeout ~progress ?inprocess
-             ?inprocess_every l
+             ?inprocess_every ?portfolio l
          else
            Fl_attacks.Cycsat.run ~timeout ~progress ?inprocess
-             ?inprocess_every l
+             ?inprocess_every ?portfolio l
        in
        prerr_newline ();
        Format.printf "%a@." Fl_attacks.Sat_attack.pp_result result;
@@ -461,10 +468,50 @@ let attack_cmd =
     Arg.(value & opt (some int) None & info [ "inprocess-every" ] ~docv:"N"
            ~doc:"Inprocessing period in DIP iterations (default 8).")
   in
+  let pf_jobs =
+    Arg.(value & opt (some int) None & info [ "portfolio" ] ~docv:"N"
+           ~doc:"Front the miter solver with a portfolio of $(docv) diverse \
+                 CDCL members raced across domains; the first decisive \
+                 member wins and the losers are cancelled (SAT/CycSAT \
+                 attacks only).")
+  in
+  let pf_det =
+    Arg.(value & flag & info [ "portfolio-det" ]
+           ~doc:"Deterministic portfolio: one member (picked by --seed), \
+                 no domains — bit-for-bit reproducible.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+           ~doc:"Solver seed: diversifies portfolio members and picks the \
+                 deterministic member.")
+  in
+  let cube_depth =
+    Arg.(value & opt (some int) None & info [ "cube-depth" ] ~docv:"D"
+           ~doc:"Cube-and-conquer: split each miter solve into 2^$(docv) \
+                 cubes over the highest-fanout key variables.")
+  in
+  let cdcl_var_decay =
+    Arg.(value & opt (some float) None & info [ "cdcl-var-decay" ] ~docv:"F"
+           ~doc:"VSIDS activity decay in (0,1), default 0.95.")
+  in
+  let cdcl_restart_base =
+    Arg.(value & opt (some int) None & info [ "cdcl-restart-base" ] ~docv:"N"
+           ~doc:"Luby restart unit in conflicts, default 64.")
+  in
+  let cdcl_phase =
+    Arg.(value & opt (some string) None & info [ "cdcl-phase" ] ~docv:"P"
+           ~doc:"Saved-phase default: false, true or random.")
+  in
+  let cdcl_random_freq =
+    Arg.(value & opt (some float) None & info [ "cdcl-random-freq" ] ~docv:"F"
+           ~doc:"Fraction of random decisions in [0,1], default 0.")
+  in
   Cmd.v
     (Cmd.info "attack" ~doc:"Attack a locked netlist with oracle access")
     Term.(const run $ kind $ locked $ oracle $ timeout $ key_out $ trace
-          $ stats $ inp_on $ inp_off $ inp_every)
+          $ stats $ inp_on $ inp_off $ inp_every $ pf_jobs $ pf_det $ seed
+          $ cube_depth $ cdcl_var_decay $ cdcl_restart_base $ cdcl_phase
+          $ cdcl_random_freq)
 
 (* ---------- serve / client ---------- *)
 

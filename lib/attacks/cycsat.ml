@@ -140,7 +140,7 @@ let no_cycle_condition c =
       heads
 
 let run ?base ?timeout ?max_conflicts ?max_iterations ?progress ?preprocess
-    ?inprocess ?inprocess_every ?inprocess_min_conflicts locked =
+    ?inprocess ?inprocess_every ?inprocess_min_conflicts ?portfolio locked =
   match base with
   | Some _ ->
     (* A prepared base already carries the NC emitter it was built with
@@ -148,9 +148,9 @@ let run ?base ?timeout ?max_conflicts ?max_iterations ?progress ?preprocess
        the cycle analysis here would waste the cache hit. *)
     Sat_attack.run ?base ?timeout ?max_conflicts ?max_iterations ?progress
       ~label:"cycsat" ?inprocess ?inprocess_every ?inprocess_min_conflicts
-      locked
+      ?portfolio locked
   | None ->
     let emitter = no_cycle_condition locked.Fl_locking.Locked.locked in
     Sat_attack.run ?timeout ?max_conflicts ?max_iterations ?progress
       ~extra_key_constraint:emitter ~label:"cycsat" ?preprocess ?inprocess
-      ?inprocess_every ?inprocess_min_conflicts locked
+      ?inprocess_every ?inprocess_min_conflicts ?portfolio locked

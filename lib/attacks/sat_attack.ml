@@ -23,13 +23,14 @@ type progress = int -> float -> unit
 
 let run ?base ?(timeout = 60.0) ?max_conflicts ?(max_iterations = max_int)
     ?(progress = fun _ _ -> ()) ?extra_key_constraint ?(label = "sat")
-    ?preprocess ?inprocess ?inprocess_every ?inprocess_min_conflicts locked =
+    ?preprocess ?inprocess ?inprocess_every ?inprocess_min_conflicts ?portfolio
+    locked =
   Fl_obs.with_span ("attack." ^ label) @@ fun () ->
   let deadline = Unix.gettimeofday () +. timeout in
   let session =
     Session.create ?base ?extra_key_constraint ~label ?max_conflicts
       ?preprocess ?inprocess ?inprocess_every ?inprocess_min_conflicts
-      ~deadline locked
+      ?portfolio ~deadline locked
   in
   let finish status dips =
     let key_is_correct =

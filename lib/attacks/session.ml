@@ -5,6 +5,7 @@ module Tseytin = Fl_cnf.Tseytin
 module Miter = Fl_cnf.Miter
 module Cdcl = Fl_sat.Cdcl
 module Solver_intf = Fl_sat.Solver_intf
+module Portfolio = Fl_sat.Portfolio
 module Preprocess = Fl_sat.Preprocess
 module Inprocess = Fl_sat.Inprocess
 module Locked = Fl_locking.Locked
@@ -77,6 +78,11 @@ type t = {
   key_tracked : tracked;
   key_vars : int array;
   backend : (module Solver_intf.S);
+  miter_backend : (module Solver_intf.S);
+      (* what the miter solver is rebuilt from after inprocessing: the
+         portfolio backend when one was requested, [backend] otherwise
+         (the key solver always runs on the plain backend — its solves
+         are many and cheap, so racing them would only burn domains) *)
   (* Between-iterations inprocessing: period in DIP iterations (None =
      disabled), the iteration count at the last run, the composed
      model-reconstruction chain (reduced-formula model -> original-miter
@@ -205,9 +211,45 @@ module Base = struct
   let preprocess_stats b = Option.map Preprocess.stats b.b_pre
 end
 
+(* Cube-variable ranking for the portfolio's cube-and-conquer mode: key
+   inputs ordered by the size of their transitive fanout cone (BFS over
+   the view's fanout lists — the keys whose influence reaches the most
+   downstream logic split the search space most evenly), mapped to their
+   CNF variables in the miter's A key copy. *)
+let ranked_key_vars view circuit (miter : Miter.t) =
+  let fanouts = View.fanouts view in
+  let n = Array.length fanouts in
+  let reach_of node =
+    let seen = Array.make n false in
+    let q = Queue.create () in
+    seen.(node) <- true;
+    Queue.add node q;
+    let count = ref 0 in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Array.iter
+        (fun w ->
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            incr count;
+            Queue.add w q
+          end)
+        fanouts.(u)
+    done;
+    !count
+  in
+  let ranked =
+    Array.mapi (fun i node -> i, reach_of node) circuit.Circuit.keys
+  in
+  Array.sort
+    (fun (ia, ra) (ib, rb) ->
+      match compare rb ra with 0 -> compare ia ib | c -> c)
+    ranked;
+  Array.map (fun (i, _) -> miter.Miter.keys_a.(i)) ranked
+
 let create ?base ?extra_key_constraint ?(label = "sat") ?max_conflicts
     ?(preprocess = true) ?(inprocess = false) ?(inprocess_every = 8)
-    ?(inprocess_min_conflicts = 2048) ?(backend = Solver_intf.cdcl)
+    ?(inprocess_min_conflicts = 2048) ?(backend = Solver_intf.cdcl) ?portfolio
     ~deadline locked =
   let circuit = locked.Locked.locked in
   (* With a prepared base, the miter (extra constraint included) and the
@@ -263,7 +305,24 @@ let create ?base ?extra_key_constraint ?(label = "sat") ?max_conflicts
   (match extra_key_constraint with
    | Some add -> add key_formula key_vars
    | None -> ());
-  let miter_tracked = tracked_of backend miter.Miter.formula in
+  let view = View.of_circuit circuit in
+  (* The portfolio (when requested) fronts the miter solver only; an
+     empty cube_vars is filled with the fanout-ranked key variables so
+     cube-and-conquer splits where the paper's CLN reconverges most. *)
+  let miter_backend =
+    match portfolio with
+    | None -> backend
+    | Some spec ->
+      let spec =
+        if
+          spec.Portfolio.cube_depth > 0
+          && Array.length spec.Portfolio.cube_vars = 0
+        then { spec with Portfolio.cube_vars = ranked_key_vars view circuit miter }
+        else spec
+      in
+      Portfolio.backend spec
+  in
+  let miter_tracked = tracked_of miter_backend miter.Miter.formula in
   let key_tracked = tracked_of backend key_formula in
   arm_progress label "miter" miter_tracked;
   arm_progress label "key" key_tracked;
@@ -275,6 +334,7 @@ let create ?base ?extra_key_constraint ?(label = "sat") ?max_conflicts
     key_tracked;
     key_vars;
     backend;
+    miter_backend;
     inprocess_every =
       (if inprocess then Some (max 1 inprocess_every) else None);
     inprocess_period = max 1 inprocess_every;
@@ -293,7 +353,7 @@ let create ?base ?extra_key_constraint ?(label = "sat") ?max_conflicts
     label;
     iteration_count = 0;
     stats = Cdcl.zero_stats;
-    view = View.of_circuit circuit;
+    view;
     key_pool = [];
     last_observed = None;
     screen_rng =
@@ -510,7 +570,7 @@ let maybe_inprocess s =
       s.inprocess_log <- st :: s.inprocess_log;
       if not (Inprocess.is_unsat ip) then begin
         let reduced = Inprocess.formula ip in
-        let nt = tracked_of s.backend reduced in
+        let nt = tracked_of s.miter_backend reduced in
         sync nt;
         (match nt, s.miter_tracked with
          | Tracked ntr, Tracked otr ->

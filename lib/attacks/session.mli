@@ -85,6 +85,16 @@ end
     [backend] (default {!Fl_sat.Solver_intf.cdcl}) selects the incremental
     SAT backend both session solvers run on.
 
+    [portfolio] fronts the {e miter} solver with a
+    {!Fl_sat.Portfolio} backend built from the given spec (the
+    key-recovery solver stays on [backend]: its solves are many and
+    cheap, the miter solves dominate).  When the spec asks for cubing
+    ([cube_depth > 0]) but gives no [cube_vars], the session fills them
+    with the miter's first-copy key variables ranked by transitive
+    fanout cone size ({!Fl_netlist.View}), so the cube split happens on
+    the keys that influence the most circuit — the variables most likely
+    to partition the search space evenly.
+
     [base] starts the session from a prepared {!Base.t} snapshot instead
     of building the miter: the session gets a private {!Fl_cnf.Formula}
     copy of the base's reduced formula, the base's preprocessing layer
@@ -105,6 +115,7 @@ val create :
   ?inprocess_every:int ->
   ?inprocess_min_conflicts:int ->
   ?backend:(module Fl_sat.Solver_intf.S) ->
+  ?portfolio:Fl_sat.Portfolio.spec ->
   deadline:float ->
   Fl_locking.Locked.t ->
   t

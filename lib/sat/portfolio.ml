@@ -1,0 +1,359 @@
+(* Portfolio + cube-and-conquer backend over {!Cdcl} and {!Fl_par}.
+
+   N diverse solver configurations hold the same clause set (every
+   [add_clause] is mirrored).  A [solve] races them as streamed
+   {!Fl_par} tasks — first decisive member wins, losers are cancelled
+   through {!Cdcl.set_interrupt} — or, with [cube_depth > 0], splits the
+   search space into assumption cubes over high-fanout key variables
+   that members pull from a shared counter.
+
+   Clause sharing happens at solve boundaries only: each member exports
+   its short learnts on its own worker domain into a mutex-guarded
+   buffer; the coordinator imports them into the other members once every
+   task has settled and the solvers are quiescent (add_clause needs level
+   0).  Sharing is sound because a learnt clause is a resolvent of
+   database clauses only — assumptions never act as resolution axioms,
+   they just survive as literals — and all members share one database.
+
+   Determinism: [deterministic = true] instantiates a single member
+   (picked by [seed mod workers]) and solves inline with the full budget
+   — no domains, no sharing, no interrupts — so with [seed mod workers =
+   0] the portfolio is bit-for-bit the plain sequential {!Cdcl}
+   reference. *)
+
+type spec = {
+  workers : int;
+  seed : int;
+  deterministic : bool;
+  cube_depth : int;
+  cube_vars : int array;
+  share_max_len : int;
+  share_cap : int;
+  base_config : Cdcl.config;
+}
+
+let default_spec =
+  {
+    workers = 2;
+    seed = 0;
+    deterministic = false;
+    cube_depth = 0;
+    cube_vars = [||];
+    share_max_len = 8;
+    share_cap = 512;
+    base_config = Cdcl.default_config;
+  }
+
+let check_spec spec =
+  if spec.workers < 1 then invalid_arg "Portfolio: workers must be >= 1";
+  if spec.cube_depth < 0 || spec.cube_depth > 16 then
+    invalid_arg "Portfolio: cube_depth must be in [0, 16]";
+  if spec.share_max_len < 0 then
+    invalid_arg "Portfolio: share_max_len must be >= 0";
+  if spec.share_cap < 0 then invalid_arg "Portfolio: share_cap must be >= 0"
+
+(* Member 0 is the reference configuration; the rest cycle through
+   restart / decay / phase / random-decision variations, each with its
+   own RNG seed mixed from the spec seed. *)
+let member_config spec i =
+  let base = spec.base_config in
+  if i = 0 then base
+  else begin
+    let seed =
+      base.Cdcl.seed lxor (spec.seed * 0x9e3779b9) lxor (i * 0x85ebca77)
+    in
+    match (i - 1) mod 5 with
+    | 0 -> { base with Cdcl.restart_base = base.Cdcl.restart_base * 4; seed }
+    | 1 -> { base with Cdcl.var_decay = 0.85; phase_default = `True; seed }
+    | 2 ->
+      {
+        base with
+        Cdcl.restart_base = max 1 (base.Cdcl.restart_base / 4);
+        random_var_freq = 0.02;
+        seed;
+      }
+    | 3 -> { base with Cdcl.phase_default = `Random; clause_decay = 0.99; seed }
+    | _ ->
+      {
+        base with
+        Cdcl.var_decay = 0.99;
+        restart_base = base.Cdcl.restart_base * 2;
+        phase_default = `Random;
+        seed;
+      }
+  end
+
+type t = {
+  spec : spec;
+  members : Cdcl.t array;  (* deterministic mode: just the winning member *)
+  config_ids : int array;  (* members.(k) runs [member_config config_ids.(k)] *)
+  mutable winner : int;  (* member index of the last decisive solve *)
+  (* canonical literal sets already broadcast, so repeated solves do not
+     re-import the same clause *)
+  shared_seen : (int list, unit) Hashtbl.t;
+}
+
+let c_solves = Fl_obs.Counter.make "portfolio.solves"
+let c_races = Fl_obs.Counter.make "portfolio.races"
+let c_cancelled = Fl_obs.Counter.make "portfolio.cancelled"
+let c_cubes = Fl_obs.Counter.make "portfolio.cubes"
+let c_exported = Fl_obs.Counter.make "portfolio.shared.exported"
+let c_imported = Fl_obs.Counter.make "portfolio.shared.imported"
+
+let create spec =
+  check_spec spec;
+  let config_ids =
+    if spec.deterministic then
+      [| ((spec.seed mod spec.workers) + spec.workers) mod spec.workers |]
+    else Array.init spec.workers Fun.id
+  in
+  {
+    spec;
+    members =
+      Array.map
+        (fun i -> Cdcl.create ~config:(member_config spec i) ())
+        config_ids;
+    config_ids;
+    winner = 0;
+    shared_seen = Hashtbl.create 64;
+  }
+
+let winner t = t.winner
+let ensure_vars t n = Array.iter (fun m -> Cdcl.ensure_vars m n) t.members
+let add_clause_a t lits = Array.iter (fun m -> Cdcl.add_clause_a m lits) t.members
+let add_clause t lits = Array.iter (fun m -> Cdcl.add_clause m lits) t.members
+let value t v = Cdcl.value t.members.(t.winner) v
+let model t = Cdcl.model t.members.(t.winner)
+let num_vars t = Cdcl.num_vars t.members.(0)
+let num_clauses t = Cdcl.num_clauses t.members.(t.winner)
+let iter_learnts t f = Cdcl.iter_learnts t.members.(t.winner) f
+
+(* The member-wise sum: monotone in every counter field, so the attack
+   session's per-iteration stat deltas keep summing to the totals. *)
+let stats t =
+  Array.fold_left
+    (fun acc m -> Cdcl.add_stats acc (Cdcl.stats m))
+    Cdcl.zero_stats t.members
+
+let set_progress t ~every cb =
+  Array.iter (fun m -> Cdcl.set_progress m ~every cb) t.members
+
+let clear_progress t = Array.iter Cdcl.clear_progress t.members
+
+(* The [2^d] assumption cubes over the first [d] ranked split variables
+   (all sign combinations); [| [] |] — one unconstrained cube — when
+   cubing is off or no split variables were provided. *)
+let cubes_of spec =
+  let d = min spec.cube_depth (Array.length spec.cube_vars) in
+  if d <= 0 then [| [] |]
+  else
+    Array.init (1 lsl d) (fun idx ->
+        List.init d (fun j ->
+            if idx land (1 lsl j) <> 0 then spec.cube_vars.(j)
+            else -spec.cube_vars.(j)))
+
+let outcome_str = function
+  | Cdcl.Sat -> "sat"
+  | Cdcl.Unsat -> "unsat"
+  | Cdcl.Unknown -> "unknown"
+
+let race t assumptions budget =
+  Fl_obs.Counter.incr c_races;
+  let n = Array.length t.members in
+  let cubes = cubes_of t.spec in
+  let ncubes = Array.length cubes in
+  let stop = Atomic.make false in
+  (* Split the conflict budget so the race spends at most the sequential
+     allowance in aggregate: per member when racing one cube, per cube
+     when cube-and-conquering.  Deadlines need no split — the racers run
+     concurrently. *)
+  let split_budget =
+    if budget.Cdcl.max_conflicts < 0 then budget
+    else
+      {
+        budget with
+        Cdcl.max_conflicts =
+          max 1 (budget.Cdcl.max_conflicts / max n ncubes);
+      }
+  in
+  let cube_results = Array.make ncubes Cdcl.Unknown in
+  let next_cube = Atomic.make 0 in
+  let exch_mutex = Mutex.create () in
+  let exch = ref [] in
+  let task k should_stop =
+    let m = t.members.(k) in
+    Cdcl.set_interrupt m (fun () -> Atomic.get stop || should_stop ());
+    Fun.protect ~finally:(fun () -> Cdcl.clear_interrupt m) @@ fun () ->
+    let out = ref Cdcl.Unknown in
+    if ncubes = 1 then begin
+      let o = Cdcl.solve ~assumptions ~budget:split_budget m in
+      (match o with
+       | Cdcl.Sat | Cdcl.Unsat -> Atomic.set stop true
+       | Cdcl.Unknown -> ());
+      out := o
+    end
+    else begin
+      (* Cube-and-conquer: pull cubes until exhausted, stopped or Sat. *)
+      let running = ref true in
+      while !running do
+        if Atomic.get stop || should_stop () then running := false
+        else begin
+          let i = Atomic.fetch_and_add next_cube 1 in
+          if i >= ncubes then running := false
+          else begin
+            Fl_obs.Counter.incr c_cubes;
+            let o =
+              Cdcl.solve
+                ~assumptions:(assumptions @ cubes.(i))
+                ~budget:split_budget m
+            in
+            cube_results.(i) <- o;
+            if o = Cdcl.Sat then begin
+              out := Cdcl.Sat;
+              Atomic.set stop true;
+              running := false
+            end
+          end
+        end
+      done
+    end;
+    (* Export short learnts into the exchange buffer while still on the
+       worker domain: the solver is quiescent and owned by this task. *)
+    if t.spec.share_max_len > 0 && t.spec.share_cap > 0 then begin
+      let mine = ref [] in
+      let count = ref 0 in
+      (try
+         Cdcl.iter_learnts m (fun c ->
+             if !count >= t.spec.share_cap then raise Exit;
+             if Array.length c <= t.spec.share_max_len then begin
+               mine := c :: !mine;
+               incr count
+             end)
+       with Exit -> ());
+      match !mine with
+      | [] -> ()
+      | ms ->
+        Fl_obs.Counter.add c_exported !count;
+        Mutex.lock exch_mutex;
+        List.iter (fun c -> exch := (k, c) :: !exch) ms;
+        Mutex.unlock exch_mutex
+    end;
+    !out
+  in
+  let member_out = Array.make n Cdcl.Unknown in
+  let decisive = ref None in
+  Fl_par.with_pool ~name:"portfolio" ~jobs:n (fun pool ->
+      let handles = List.init n (fun k -> k, Fl_par.submit pool (task k)) in
+      (* Consume settlements as they land; the first decisive member wins
+         and the losers are cancelled (their in-flight solves observe the
+         [stop] flag through their interrupt hooks within ~256
+         conflicts). *)
+      let rec drain pending =
+        match pending with
+        | [] -> ()
+        | _ ->
+          let i, o = Fl_par.await_any (List.map snd pending) in
+          let k, _ = List.nth pending i in
+          let rest = List.filteri (fun j _ -> j <> i) pending in
+          let out =
+            match o with
+            | Fl_par.Done v | Fl_par.Late (v, _) -> v
+            | Fl_par.Failed _ | Fl_par.Cancelled -> Cdcl.Unknown
+          in
+          member_out.(k) <- out;
+          (match out with
+           | (Cdcl.Sat | Cdcl.Unsat) when !decisive = None ->
+             decisive := Some (k, out);
+             Atomic.set stop true;
+             List.iter (fun (_, h) -> Fl_par.cancel h) rest
+           | _ -> ());
+          drain rest
+      in
+      drain handles);
+  let result =
+    match !decisive with
+    | Some (k, out) ->
+      t.winner <- k;
+      out
+    | None ->
+      (* Cube mode proves Unsat collectively: every cube refuted. *)
+      if ncubes > 1 && Array.for_all (fun o -> o = Cdcl.Unsat) cube_results
+      then Cdcl.Unsat
+      else Cdcl.Unknown
+  in
+  let cancelled_n =
+    if !decisive = None then 0
+    else
+      Array.fold_left
+        (fun a o -> if o = Cdcl.Unknown then a + 1 else a)
+        0 member_out
+  in
+  if cancelled_n > 0 then Fl_obs.Counter.add c_cancelled cancelled_n;
+  (* Import the exchanged clauses into every other member now that all
+     solvers are quiescent (level 0).  Deduplicated for the lifetime of
+     the portfolio via the canonical sorted literal list. *)
+  let imported = ref 0 in
+  let exported = ref 0 in
+  List.iter
+    (fun (src, c) ->
+      incr exported;
+      let key = List.sort compare (Array.to_list c) in
+      if not (Hashtbl.mem t.shared_seen key) then begin
+        Hashtbl.add t.shared_seen key ();
+        Array.iteri
+          (fun k m ->
+            if k <> src then begin
+              Cdcl.add_clause_a m c;
+              incr imported
+            end)
+          t.members
+      end)
+    (List.rev !exch);
+  if !imported > 0 then Fl_obs.Counter.add c_imported !imported;
+  if Fl_obs.enabled () then
+    Fl_obs.emit "portfolio.race.done"
+      ~fields:
+        [
+          "workers", Fl_obs.Int n;
+          "outcome", Fl_obs.String (outcome_str result);
+          ( "winner_config",
+            Fl_obs.Int
+              (match !decisive with
+               | Some (k, _) -> t.config_ids.(k)
+               | None -> -1) );
+          "cancelled", Fl_obs.Int cancelled_n;
+          "cubes", Fl_obs.Int (if ncubes > 1 then ncubes else 0);
+          "shared_exported", Fl_obs.Int !exported;
+          "shared_imported", Fl_obs.Int !imported;
+        ];
+  result
+
+let solve ?(assumptions = []) ?(budget = Cdcl.no_budget) t =
+  Fl_obs.Counter.incr c_solves;
+  if Array.length t.members = 1 then begin
+    (* Deterministic mode (or a 1-worker portfolio): inline, full budget,
+       no domains — sequential semantics. *)
+    t.winner <- 0;
+    Cdcl.solve ~assumptions ~budget t.members.(0)
+  end
+  else race t assumptions budget
+
+let backend spec : (module Solver_intf.S) =
+  check_spec spec;
+  (module struct
+    type nonrec t = t
+
+    let create () = create spec
+    let ensure_vars = ensure_vars
+    let add_clause = add_clause
+    let add_clause_a = add_clause_a
+    let solve = solve
+    let value = value
+    let model = model
+    let num_vars = num_vars
+    let num_clauses = num_clauses
+    let stats = stats
+    let iter_learnts = iter_learnts
+    let set_progress = set_progress
+    let clear_progress = clear_progress
+  end)

@@ -1,0 +1,90 @@
+(** Portfolio + cube-and-conquer parallel SAT backend.
+
+    A {!Solver_intf.S}-conforming backend that keeps [workers] diverse
+    {!Cdcl} instances loaded with the same clause set and, per [solve]
+    call, either:
+
+    - {e races} them across domains (one {!Fl_par} streamed task per
+      member, each with a [1/workers] conflict-budget slice): the first
+      member to reach a decisive Sat/Unsat answer wins, the losers are
+      cooperatively cancelled through {!Cdcl.set_interrupt}; or
+    - {e cube-and-conquers} ([cube_depth > 0]): the assumption space is
+      split into [2^cube_depth] cubes over the highest-fanout key
+      variables ([cube_vars], ranked by the caller — see
+      [Fl_attacks.Session]), members pull cubes from a shared counter,
+      any Sat cube decides Sat, and all-cubes-Unsat decides Unsat; or
+    - runs {e deterministically} ([deterministic = true]): a single
+      member — picked by [seed mod workers] — solves inline with the full
+      budget and no domains, so results (and DIP sequences) are
+      bit-for-bit reproducible; with [seed mod workers = 0] they equal
+      the plain sequential {!Cdcl} reference.
+
+    After every race the members exchange learnt clauses: each member's
+    short learnts ([<= share_max_len] literals, at most [share_cap] per
+    member per solve) are collected on the worker domain into a
+    mutex-guarded buffer and imported into the other members at the solve
+    boundary (level 0).  This is sound because a CDCL learnt clause is a
+    resolvent of database clauses only — assumptions never enter the
+    resolution, they merely remain as literals — and every member holds
+    the same database.
+
+    [stats] is the member-wise sum (so per-iteration deltas measured by
+    the attack session stay monotone and sum correctly); [value] /
+    [model] / [iter_learnts] read the winning member.  Counters
+    [portfolio.*] and one [portfolio.race.done] event per race feed the
+    observability layer. *)
+
+type spec = {
+  workers : int;  (** member count, >= 1 *)
+  seed : int;  (** diversification seed; picks the deterministic winner *)
+  deterministic : bool;  (** fixed winner by seed, no domains, no sharing *)
+  cube_depth : int;  (** split on [2^depth] cubes; 0 = plain racing *)
+  cube_vars : int array;
+      (** DIMACS variables to split on, best first; cubing is skipped
+          when fewer than [cube_depth] are given *)
+  share_max_len : int;  (** max literals of a shared learnt; 0 disables *)
+  share_cap : int;  (** max clauses exported per member per solve *)
+  base_config : Cdcl.config;
+      (** member 0's configuration; the other members diversify from it *)
+}
+
+(** [workers = 2], [seed = 0], racing (non-deterministic), no cubing,
+    share clauses of at most 8 literals, 512 per member per solve,
+    {!Cdcl.default_config} as the base. *)
+val default_spec : spec
+
+(** [member_config spec i] is the {!Cdcl.config} member [i] runs:
+    member 0 runs [spec.base_config] unchanged (the reference
+    configuration), members 1.. cycle through restart / decay / phase /
+    random-decision variations seeded from [spec.seed]. *)
+val member_config : spec -> int -> Cdcl.config
+
+type t
+
+(** [create spec] builds a portfolio instance.  Deterministic mode
+    instantiates only the winning member.
+    @raise Invalid_argument when a [spec] field is out of range. *)
+val create : spec -> t
+
+(** The member index whose answer the last decisive [solve] adopted
+    (0 before any).  [value]/[model]/[iter_learnts] read this member. *)
+val winner : t -> int
+
+(** [backend spec] packs the portfolio as a first-class
+    {!Solver_intf.S} module whose [create ()] is [create spec]. *)
+val backend : spec -> (module Solver_intf.S)
+
+(** The {!Solver_intf.S} operations, usable directly. *)
+
+val ensure_vars : t -> int -> unit
+val add_clause : t -> int list -> unit
+val add_clause_a : t -> int array -> unit
+val solve : ?assumptions:int list -> ?budget:Cdcl.budget -> t -> Cdcl.outcome
+val value : t -> int -> bool
+val model : t -> bool array
+val num_vars : t -> int
+val num_clauses : t -> int
+val stats : t -> Cdcl.stats
+val iter_learnts : t -> (int array -> unit) -> unit
+val set_progress : t -> every:int -> (Cdcl.stats -> unit) -> unit
+val clear_progress : t -> unit

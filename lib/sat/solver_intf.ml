@@ -52,8 +52,13 @@ module No_learnt_export = struct
 end
 
 (* The compile-time proof that {!Cdcl} implements the signature — and the
-   default backend handed to {!Fl_attacks.Session}. *)
-module Cdcl_backend : S with type t = Cdcl.t = Cdcl
+   default backend handed to {!Fl_attacks.Session}.  [create] is
+   eta-expanded to drop the optional [?config] argument. *)
+module Cdcl_backend : S with type t = Cdcl.t = struct
+  include Cdcl
+
+  let create () = Cdcl.create ()
+end
 
 let cdcl : (module S) = (module Cdcl_backend)
 
